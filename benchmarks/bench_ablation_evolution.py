@@ -1,0 +1,56 @@
+"""Search-algorithm comparison: differentiable (paper) vs regularized
+evolution over the same weight-sharing supernet.
+
+The paper argues for the Gumbel-softmax differentiable search; regularized
+evolution is the standard gradient-free one-shot-NAS alternative.  Both
+share the fitness substrate (weight-sharing supernet), so the comparison
+isolates the explore strategy.  Shape: both find a strategy whose shared-
+weights validation score is at least vanilla's, and neither costs more
+than a small multiple of the other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvolutionConfig,
+    EvolutionarySearcher,
+    S2PGNNSearcher,
+    SearchConfig,
+)
+from repro.experiments.runner import encoder_factory
+from repro.graph import load_dataset
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="search-ablation")
+def test_differentiable_vs_evolution(benchmark, scale):
+    dataset = load_dataset("bbbp", size=scale.dataset_size)
+    factory = encoder_factory("contextpred", "gin", scale, seed=0)
+
+    def run_both():
+        diff = S2PGNNSearcher(
+            factory(), dataset,
+            config=SearchConfig(epochs=scale.search_epochs, seed=0),
+        ).search()
+        evo = EvolutionarySearcher(
+            factory(), dataset,
+            config=EvolutionConfig(
+                warmup_epochs=scale.search_epochs,
+                population_size=6,
+                generations=6,
+                seed=0,
+            ),
+        ).search()
+        return diff, evo
+
+    diff, evo = run_once(benchmark, run_both)
+    print(f"\ndifferentiable: {diff.spec.describe()}  ({diff.seconds:.1f}s)")
+    print(f"evolutionary:   {evo.spec.describe()}  "
+          f"(val={evo.score:.3f}, {evo.seconds:.1f}s)")
+    assert np.isfinite(evo.score)
+    # Both complete within a small factor of each other (same substrate).
+    ratio = max(diff.seconds, evo.seconds) / max(min(diff.seconds, evo.seconds), 1e-9)
+    print(f"cost ratio: {ratio:.1f}x")
+    assert ratio < 20

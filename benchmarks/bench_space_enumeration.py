@@ -1,0 +1,40 @@
+"""Paper Remark 3: the search-space size and why brute force is infeasible.
+
+Verifies the 10,206-strategy count for the 5-layer backbone, benchmarks
+full enumeration of the spec space (cheap — specs are just tuples; it is
+the *training per spec* that brute force cannot afford), and extrapolates
+the brute-force cost from a measured single-spec fine-tuning time.
+"""
+
+import pytest
+
+from repro.core import DEFAULT_SPACE, DerivedModel
+from repro.finetune import finetune
+from repro.gnn import GNNEncoder
+from repro.graph import load_dataset
+
+
+@pytest.mark.benchmark(group="space")
+def test_space_size_and_enumeration(benchmark):
+    specs = benchmark(lambda: sum(1 for _ in DEFAULT_SPACE.enumerate(5)))
+    assert specs == DEFAULT_SPACE.size(5) == 10_206
+
+
+@pytest.mark.benchmark(group="space")
+def test_brute_force_extrapolation(benchmark, scale):
+    """Time ONE spec trained to convergence, extrapolate to the full space."""
+    dataset = load_dataset("bbbp", size=scale.dataset_size)
+    spec = next(iter(DEFAULT_SPACE.enumerate(scale.num_layers)))
+
+    def train_one():
+        encoder = GNNEncoder("gin", scale.num_layers, scale.emb_dim, seed=0)
+        model = DerivedModel(encoder, spec, dataset.num_tasks, seed=0)
+        return finetune(model, dataset, epochs=scale.finetune_epochs,
+                        patience=scale.patience, seed=0)
+
+    result = benchmark.pedantic(train_one, rounds=1, iterations=1)
+    per_spec = sum(result.train_losses) and benchmark.stats.stats.mean
+    total = per_spec * DEFAULT_SPACE.size(scale.num_layers)
+    print(f"\nOne spec: {per_spec:.1f}s -> brute force over "
+          f"{DEFAULT_SPACE.size(scale.num_layers)} specs ~ {total / 3600:.1f} h")
+    assert total > 100 * per_spec  # brute force is orders of magnitude above

@@ -1,0 +1,49 @@
+"""Paper Table VI: S2PGNN vs vanilla fine-tuning across all 10 pre-training
+methods and all 8 downstream datasets (GIN backbone).
+
+Paper shape: S2PGNN improves the average over datasets for EVERY
+pre-training method (paper reports +9.1% .. +17.7%).  At CPU scale the
+per-cell numbers are noisy, so the assertion targets the per-method average
+gain; the printed table mirrors the paper's layout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_table6
+from repro.experiments.configs import TABLE6_DATASETS, TABLE6_PRETRAIN_METHODS
+from repro.experiments.tables import format_table6
+
+from conftest import run_once
+
+
+def _strict() -> bool:
+    """Shape assertions only run at the full bench tier; the smoke tier is a
+    fast plumbing check where statistical shapes are not meaningful."""
+    import os
+
+    return os.environ.get("REPRO_BENCH_TIER", "bench") != "smoke"
+
+
+@pytest.mark.benchmark(group="table06")
+def test_table6_s2pgnn_vs_vanilla(benchmark, scale):
+    results = run_once(
+        benchmark,
+        lambda: run_table6(TABLE6_PRETRAIN_METHODS, TABLE6_DATASETS, scale=scale),
+    )
+    print()
+    print(format_table6(results, TABLE6_DATASETS))
+
+    gains = {m: rows["avg_gain"] for m, rows in results.items()}
+    print("\nPer-method average gains:",
+          {m: f"{g * 100:+.1f}%" for m, g in gains.items()})
+
+    # Shape: every method is covered and the overall average gain is positive
+    # (the paper's headline 9-17% claim, relaxed for CPU-scale noise).
+    assert set(gains) == set(TABLE6_PRETRAIN_METHODS)
+    overall = float(np.mean(list(gains.values())))
+    print(f"Overall average gain: {overall * 100:+.1f}%")
+    if _strict():
+        assert overall > 0.0, f"expected positive mean gain, got {overall:+.3f}"
+        # A clear majority of pre-training methods must individually benefit.
+        assert sum(g > 0 for g in gains.values()) >= len(gains) * 0.6

@@ -1,0 +1,44 @@
+"""Paper Table IX: ablation on S2PGNN's design dimensions.
+
+Variants search degraded spaces: S2PGNN-\\id (no identity augmentation),
+S2PGNN-\\fuse (last-layer only), S2PGNN-\\read (fixed mean pooling).
+
+Paper shape: every degraded variant drops relative to the full space
+(paper: -5.2%, -12.1%, -12.3% average), with the fusion and readout
+dimensions mattering most.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_table9
+from repro.experiments.configs import TABLE6_DATASETS
+from repro.experiments.tables import format_table9
+
+from conftest import run_once
+
+
+def _strict() -> bool:
+    """Shape assertions only run at the full bench tier; the smoke tier is a
+    fast plumbing check where statistical shapes are not meaningful."""
+    import os
+
+    return os.environ.get("REPRO_BENCH_TIER", "bench") != "smoke"
+
+
+@pytest.mark.benchmark(group="table09")
+def test_table9_design_dimension_ablation(benchmark, scale):
+    results = run_once(benchmark, lambda: run_table9(TABLE6_DATASETS, scale=scale))
+    print()
+    print(format_table9(results, TABLE6_DATASETS))
+
+    drops = {v: results[v]["avg_drop"] for v in ["no_id", "no_fuse", "no_read"]}
+    print("\nAverage change vs full space:",
+          {k: f"{v * 100:+.1f}%" for k, v in drops.items()})
+
+    # Shape: degrading the space must not help on average; at least one
+    # dimension must show a clear drop (the paper's "key factors" claim).
+    if _strict():
+        mean_drop = float(np.mean(list(drops.values())))
+        assert mean_drop <= 0.02, drops
+        assert min(drops.values()) < 0.0, drops

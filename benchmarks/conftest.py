@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's evaluation tables at CPU
+scale and asserts the paper's *shape* (who wins, sign of gaps) rather than
+absolute numbers.  Set ``REPRO_BENCH_TIER=smoke`` to run a fast sanity tier
+(used in CI-style runs); the default ``bench`` tier regenerates the full
+row/column structure of every table.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.configs import BENCH_SCALE, SMOKE_SCALE, Scale
+
+
+def bench_scale() -> Scale:
+    tier = os.environ.get("REPRO_BENCH_TIER", "bench")
+    return SMOKE_SCALE if tier == "smoke" else BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return bench_scale()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,57 @@
+"""Compare pre-training methods under vanilla vs searched fine-tuning.
+
+Reproduces a slice of paper Table VI interactively: picks three pre-training
+methods spanning the SSL taxonomy (Context Prediction, Masked Component
+Modeling, Contrastive Learning), fine-tunes each on two downstream datasets
+with (a) vanilla fine-tuning and (b) S2PGNN, and prints the per-method gain.
+
+This is the workflow of a practitioner deciding which released checkpoint
+to adopt — the paper's point is that the *fine-tuning strategy*, not just
+the checkpoint, decides downstream quality.
+
+Run:  python examples/compare_pretraining_methods.py
+"""
+
+import numpy as np
+
+from repro.experiments import BENCH_SCALE, average_gain, run_s2pgnn, run_vanilla
+from repro.experiments.configs import Scale
+from repro.pretrain import PRETRAIN_CATEGORIES
+
+METHODS = ["contextpred", "attrmasking", "graphcl"]
+DATASETS = ["bbbp", "esol"]
+
+SCALE = Scale(
+    dataset_size=200,
+    search_epochs=5,
+    finetune_epochs=12,
+    patience=12,
+    seeds=(0,),
+)
+
+
+def main():
+    print(f"{'method':<14} {'SSL':<5} {'dataset':<8} "
+          f"{'vanilla':>9} {'S2PGNN':>9} {'gain':>8}")
+    print("-" * 60)
+    per_method_gains = {}
+    for method in METHODS:
+        gains = []
+        for dataset in DATASETS:
+            base = run_vanilla(method, dataset, scale=SCALE)
+            ours = run_s2pgnn(method, dataset, scale=SCALE)
+            gain = average_gain(base, ours)
+            gains.append(gain)
+            print(f"{method:<14} {PRETRAIN_CATEGORIES[method]:<5} {dataset:<8} "
+                  f"{base['mean']:>9.3f} {ours['mean']:>9.3f} {gain:>7.1%}")
+        per_method_gains[method] = float(np.mean(gains))
+
+    print("\nAverage gain from searching the fine-tuning strategy:")
+    for method, gain in per_method_gains.items():
+        print(f"  {method:<14} {gain:+.1%}")
+    print("\nPaper Table VI reports +9.1% .. +17.7% at full scale; the shape "
+          "(positive gains regardless of the SSL objective) is the claim.")
+
+
+if __name__ == "__main__":
+    main()

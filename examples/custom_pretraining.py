@@ -1,0 +1,78 @@
+"""Pre-train your own GNN from scratch and plug it into S2PGNN.
+
+Shows the full substrate API — no model zoo:
+
+1. generate an unlabeled molecular corpus;
+2. define a GNN encoder and pre-train it with two different SSL objectives
+   (attribute masking and GraphCL) using the library's trainer;
+3. checkpoint the encoders; reload them;
+4. fine-tune both on a downstream regression dataset with a searched
+   strategy, plus a GTOT-regularized variant (the paper notes regularizers
+   are orthogonal to S2PGNN and combinable).
+
+Run:  python examples/custom_pretraining.py
+"""
+
+import os
+import tempfile
+
+from repro import S2PGNNFineTuner, SearchConfig
+from repro.core.api import FineTuneConfig
+from repro.finetune import GTOTFineTune
+from repro.gnn import GNNEncoder
+from repro.graph import load_dataset, zinc_corpus
+from repro.nn import load_state_dict, save_state_dict
+from repro.pretrain import AttrMaskingTask, GraphCLTask, pretrain
+
+
+def main():
+    # -- 1. unlabeled corpus (ZINC15 stand-in) -----------------------------
+    corpus = zinc_corpus(size=150, seed=11)
+    print(f"corpus: {len(corpus)} molecules, "
+          f"avg {sum(g.num_nodes for g in corpus) / len(corpus):.1f} atoms")
+
+    # -- 2. pre-train two encoders with different SSL objectives ----------
+    checkpoints = {}
+    workdir = tempfile.mkdtemp(prefix="s2pgnn_example_")
+    for task_cls in (AttrMaskingTask, GraphCLTask):
+        encoder = GNNEncoder(conv_type="gin", num_layers=5, emb_dim=32, seed=0)
+        task = task_cls(encoder, seed=0)
+        history = pretrain(task, corpus, epochs=3, batch_size=32, seed=0)
+        path = os.path.join(workdir, f"{task.name}.npz")
+        save_state_dict(encoder.state_dict(), path)
+        checkpoints[task.name] = path
+        print(f"pre-trained {task.name:<12} ({task.category}): "
+              f"loss {history[0]:.3f} -> {history[-1]:.3f}")
+
+    # -- 3. downstream fine-tuning with a searched strategy ----------------
+    dataset = load_dataset("esol", size=200)
+    print(f"\ndownstream: {dataset.info.name} (regression, RMSE, lower better)")
+
+    for name, path in checkpoints.items():
+        def encoder_factory(path=path):
+            encoder = GNNEncoder(conv_type="gin", num_layers=5, emb_dim=32, seed=0)
+            encoder.load_state_dict(load_state_dict(path))
+            return encoder
+
+        tuner = S2PGNNFineTuner(
+            encoder_factory,
+            search_config=SearchConfig(epochs=5, seed=0),
+            finetune_config=FineTuneConfig(epochs=12, patience=12),
+        )
+        result = tuner.fit(dataset)
+        print(f"  {name:<12} S2PGNN            RMSE = {result.test_score:.3f} "
+              f"| {tuner.best_spec_.describe()}")
+
+        # Orthogonal regularizer on top of the searched strategy.
+        combo = S2PGNNFineTuner(
+            encoder_factory,
+            search_config=SearchConfig(epochs=5, seed=0),
+            finetune_config=FineTuneConfig(epochs=12, patience=12),
+            strategy=GTOTFineTune(weight=0.05),
+        )
+        combo_result = combo.fit(dataset, spec=tuner.best_spec_)
+        print(f"  {name:<12} S2PGNN + GTOT     RMSE = {combo_result.test_score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Gradient-free alternative: regularized evolution over the supernet.
+
+The paper's search is differentiable (Gumbel-softmax).  This example runs
+the library's evolutionary searcher — same weight-sharing supernet, but the
+discrete space is explored by mutation + tournament selection — and
+compares the strategies and costs of the two algorithms on one dataset.
+
+Run:  python examples/evolutionary_search.py
+"""
+
+from repro.analysis import spec_distance
+from repro.core import (
+    EvolutionConfig,
+    EvolutionarySearcher,
+    S2PGNNSearcher,
+    SearchConfig,
+)
+from repro.graph import load_dataset
+from repro.pretrain import get_pretrained
+
+
+def pretrained_encoder():
+    return get_pretrained("contextpred", backbone="gin", num_layers=5,
+                          emb_dim=32, corpus_size=160, epochs=2)
+
+
+def main():
+    dataset = load_dataset("bbbp", size=200)
+
+    print("=== differentiable search (paper's algorithm) ===")
+    diff = S2PGNNSearcher(
+        pretrained_encoder(), dataset, config=SearchConfig(epochs=6, seed=0),
+    ).search()
+    print(f"strategy: {diff.spec.describe()}")
+    print(f"wall-clock: {diff.seconds:.1f}s")
+
+    print("\n=== regularized evolution (gradient-free) ===")
+    evo = EvolutionarySearcher(
+        pretrained_encoder(), dataset,
+        config=EvolutionConfig(warmup_epochs=6, population_size=8,
+                               generations=8, seed=0),
+    ).search()
+    print(f"strategy: {evo.spec.describe()}")
+    print(f"validation score under shared weights: {evo.score:.3f}")
+    print(f"wall-clock: {evo.seconds:.1f}s")
+    for entry in evo.history:
+        print(f"  gen {entry['generation']}: best={entry['best_fitness']:.3f}")
+
+    print("\n=== comparison ===")
+    distance = spec_distance(diff.spec, evo.spec)
+    print(f"normalized strategy distance: {distance:.2f} "
+          f"(0 = identical, 1 = fully different)")
+    print("Both explore the same 10,206-strategy space on the same shared "
+          "weights; the paper's differentiable algorithm needs no fitness "
+          "evaluations during optimization, evolution needs one per child.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Inspect what the strategy search actually learns.
+
+Runs the bi-level search on two structurally different downstream datasets
+and prints, per epoch, the temperature, losses, and the currently derived
+strategy — then the final per-dimension candidate probabilities.  This is
+the paper's "data-aware" claim made visible: different datasets prefer
+different fusion/readout/identity choices.
+
+Run:  python examples/inspect_search.py
+"""
+
+import numpy as np
+
+from repro.core import S2PGNNSearcher, SearchConfig
+from repro.graph import load_dataset
+from repro.pretrain import get_pretrained
+
+
+def pretrained_encoder():
+    return get_pretrained("contextpred", backbone="gin", num_layers=5,
+                          emb_dim=32, corpus_size=160, epochs=2)
+
+
+def inspect(dataset_name: str):
+    dataset = load_dataset(dataset_name, size=200)
+    print(f"\n=== searching on {dataset_name} "
+          f"({dataset.info.task_type}, {dataset.num_tasks} task(s)) ===")
+    searcher = S2PGNNSearcher(
+        pretrained_encoder(), dataset,
+        config=SearchConfig(epochs=6, seed=0),
+    )
+    result = searcher.search()
+
+    print(f"{'epoch':>5} {'tau':>6} {'train':>8} {'alpha':>8}  derived strategy")
+    for entry in result.history:
+        print(f"{entry['epoch']:>5} {entry['tau']:>6.2f} "
+              f"{entry['train_loss']:>8.4f} {entry['alpha_loss']:>8.4f}  "
+              f"{entry['derived']}")
+
+    probs = searcher.controller.probabilities()
+    space = searcher.space
+    print("\nfinal controller probabilities:")
+    print("  fusion: ", {n: round(float(p), 2)
+                         for n, p in zip(space.fusion, probs["fusion"])})
+    print("  readout:", {n: round(float(p), 2)
+                         for n, p in zip(space.readout, probs["readout"])})
+    for k in range(probs["identity"].shape[0]):
+        row = {n: round(float(p), 2)
+               for n, p in zip(space.identity, probs["identity"][k])}
+        print(f"  identity[layer {k}]: {row}")
+
+    print(f"\nselected strategy: {result.spec.describe()}")
+    print(f"search wall-clock: {result.seconds:.1f}s for a space of "
+          f"{space.size(5):,} strategies")
+    return result.spec
+
+
+def main():
+    spec_cls = inspect("bbbp")  # classification
+    spec_reg = inspect("esol")  # regression
+    print("\n=== data-awareness check ===")
+    print(f"bbbp strategy: {spec_cls.describe()}")
+    print(f"esol strategy: {spec_reg.describe()}")
+    if spec_cls != spec_reg:
+        print("-> the search adapts the strategy to the dataset (paper Sec. I).")
+    else:
+        print("-> identical strategies this run; rerun with other seeds to see "
+              "dataset-specific choices.")
+
+
+if __name__ == "__main__":
+    main()

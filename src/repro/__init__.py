@@ -1,0 +1,40 @@
+"""Reproduction of *Search to Fine-tune Pre-trained Graph Neural Networks
+for Graph-level Tasks* (S2PGNN, ICDE 2024) on a from-scratch numpy stack.
+
+Public API highlights:
+
+* :class:`repro.core.S2PGNNFineTuner` — search + fine-tune driver.
+* :func:`repro.pretrain.get_pretrained` — cached pre-trained encoders for
+  the 10 SSL methods of paper Tab. V.
+* :func:`repro.graph.load_dataset` — the 8 downstream datasets of Tab. IV.
+* :mod:`repro.finetune` — every baseline fine-tuning strategy (Tab. II).
+"""
+
+from . import core, finetune, gnn, graph, metrics, nn, pretrain
+from .core import (
+    DEFAULT_SPACE,
+    FineTuneSpace,
+    FineTuneStrategySpec,
+    S2PGNNFineTuner,
+    S2PGNNSearcher,
+    SearchConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "graph",
+    "gnn",
+    "pretrain",
+    "finetune",
+    "core",
+    "metrics",
+    "S2PGNNFineTuner",
+    "S2PGNNSearcher",
+    "SearchConfig",
+    "FineTuneSpace",
+    "FineTuneStrategySpec",
+    "DEFAULT_SPACE",
+    "__version__",
+]

@@ -1,0 +1,100 @@
+"""Analysis tools for searched fine-tuning strategies.
+
+The paper's qualitative claim is that good fine-tuning is *data-aware*:
+different downstream datasets prefer different identity/fusion/readout
+choices.  These helpers aggregate searched specs across runs/datasets so
+that claim can be inspected quantitatively (candidate frequencies, per-
+dimension agreement, and strategy distances).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .core.space import DEFAULT_SPACE, FineTuneSpace, FineTuneStrategySpec
+
+__all__ = [
+    "candidate_frequencies",
+    "dimension_agreement",
+    "spec_distance",
+    "summarize_specs",
+]
+
+
+def candidate_frequencies(specs: list[FineTuneStrategySpec]) -> dict:
+    """Relative frequency of every candidate per dimension.
+
+    Returns ``{"identity": Counter, "fusion": Counter, "readout": Counter}``
+    with frequencies normalized to 1 per dimension (identity pools all
+    layers).
+    """
+    if not specs:
+        raise ValueError("need at least one spec")
+    identity: Counter = Counter()
+    fusion: Counter = Counter()
+    readout: Counter = Counter()
+    for spec in specs:
+        identity.update(spec.identity)
+        fusion[spec.fusion] += 1
+        readout[spec.readout] += 1
+    return {
+        "identity": _normalize(identity),
+        "fusion": _normalize(fusion),
+        "readout": _normalize(readout),
+    }
+
+
+def dimension_agreement(specs: list[FineTuneStrategySpec]) -> dict:
+    """Fraction of spec pairs that agree, per dimension.
+
+    1.0 means every run picked the same candidate (not data-aware);
+    values near the uniform-chance rate mean strong dataset dependence.
+    """
+    if len(specs) < 2:
+        raise ValueError("need at least two specs to measure agreement")
+    pairs = [(a, b) for i, a in enumerate(specs) for b in specs[i + 1:]]
+    fusion = np.mean([a.fusion == b.fusion for a, b in pairs])
+    readout = np.mean([a.readout == b.readout for a, b in pairs])
+    identity = np.mean([
+        np.mean([x == y for x, y in zip(a.identity, b.identity)])
+        for a, b in pairs
+    ])
+    return {"identity": float(identity), "fusion": float(fusion),
+            "readout": float(readout)}
+
+
+def spec_distance(a: FineTuneStrategySpec, b: FineTuneStrategySpec) -> float:
+    """Normalized Hamming distance between two strategies in [0, 1]."""
+    if len(a.identity) != len(b.identity):
+        raise ValueError("specs come from different-depth backbones")
+    slots = len(a.identity) + 2
+    differences = sum(x != y for x, y in zip(a.identity, b.identity))
+    differences += int(a.fusion != b.fusion) + int(a.readout != b.readout)
+    return differences / slots
+
+
+def summarize_specs(specs_by_dataset: dict, space: FineTuneSpace = DEFAULT_SPACE) -> str:
+    """Human-readable summary of searched strategies per dataset."""
+    lines = ["Searched strategies per dataset:"]
+    for dataset, specs in specs_by_dataset.items():
+        for spec in specs:
+            lines.append(f"  {dataset:<10} {spec.describe()}")
+    all_specs = [s for specs in specs_by_dataset.values() for s in specs]
+    if len(all_specs) >= 2:
+        agreement = dimension_agreement(all_specs)
+        lines.append(
+            "Cross-run agreement: "
+            + ", ".join(f"{k}={v:.2f}" for k, v in agreement.items())
+        )
+        freq = candidate_frequencies(all_specs)
+        top_fusion = max(freq["fusion"], key=freq["fusion"].get)
+        top_readout = max(freq["readout"], key=freq["readout"].get)
+        lines.append(f"Most selected: fusion={top_fusion}, readout={top_readout}")
+    return "\n".join(lines)
+
+
+def _normalize(counter: Counter) -> dict:
+    total = sum(counter.values())
+    return {key: count / total for key, count in counter.items()}

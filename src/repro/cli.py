@@ -1,0 +1,108 @@
+"""Command-line interface: regenerate any paper table from the shell.
+
+Usage::
+
+    python -m repro.cli table6 --tier smoke
+    python -m repro.cli table7
+    python -m repro.cli table9 --datasets bbbp bace
+    python -m repro.cli space           # Remark 3 space-size check
+
+Results are printed in the paper's row layout (see
+:mod:`repro.experiments.tables`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import configs, runner, tables
+
+__all__ = ["main", "build_parser"]
+
+_TABLES = {
+    "table6": (
+        lambda scale, datasets: runner.run_table6(
+            configs.TABLE6_PRETRAIN_METHODS, datasets or configs.TABLE6_DATASETS,
+            scale=scale),
+        lambda results, datasets: tables.format_table6(
+            results, datasets or configs.TABLE6_DATASETS),
+    ),
+    "table7": (
+        lambda scale, datasets: runner.run_table7(
+            configs.TABLE7_STRATEGIES, datasets or configs.CLASSIFICATION_DATASETS,
+            scale=scale),
+        lambda results, datasets: tables.format_table7(
+            results, datasets or configs.CLASSIFICATION_DATASETS),
+    ),
+    "table8": (
+        lambda scale, datasets: runner.run_table8(
+            configs.TABLE8_STRATEGIES, datasets or configs.CLASSIFICATION_DATASETS,
+            scale=scale),
+        lambda results, datasets: tables.format_table8(
+            results, datasets or configs.CLASSIFICATION_DATASETS),
+    ),
+    "table9": (
+        lambda scale, datasets: runner.run_table9(
+            datasets or configs.TABLE6_DATASETS, scale=scale),
+        lambda results, datasets: tables.format_table9(
+            results, datasets or configs.TABLE6_DATASETS),
+    ),
+    "table10": (
+        lambda scale, datasets: runner.run_table10(
+            configs.TABLE10_BACKBONES, datasets or configs.TABLE6_DATASETS,
+            scale=scale),
+        lambda results, datasets: tables.format_table10(
+            results, datasets or configs.TABLE6_DATASETS),
+    ),
+    "table11": (
+        lambda scale, datasets: runner.run_table11(
+            configs.TABLE11_STRATEGIES, datasets or configs.CLASSIFICATION_DATASETS,
+            scale=scale),
+        lambda results, datasets: tables.format_table11(
+            results, datasets or configs.CLASSIFICATION_DATASETS),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate S2PGNN paper tables (VI-XI) at CPU scale.",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(_TABLES) + ["space"],
+        help="which paper table to regenerate ('space' prints Remark 3 numbers)",
+    )
+    parser.add_argument(
+        "--tier", choices=["smoke", "bench"], default="bench",
+        help="experiment scale: 'smoke' is a fast plumbing run",
+    )
+    parser.add_argument(
+        "--datasets", nargs="*", default=None,
+        help="restrict to a subset of datasets (default: the table's full set)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.target == "space":
+        from .core import DEFAULT_SPACE
+
+        for k in (3, 5):
+            print(f"K={k}: |space| = {DEFAULT_SPACE.size(k):,}")
+        print("paper Remark 3: 10,206 for the 5-layer GIN backbone")
+        return 0
+
+    scale = configs.SMOKE_SCALE if args.tier == "smoke" else configs.BENCH_SCALE
+    run, render = _TABLES[args.target]
+    results = run(scale, args.datasets)
+    print(render(results, args.datasets))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""``repro.core`` — S2PGNN: the paper's search-to-fine-tune framework."""
+
+from .api import FineTuneConfig, S2PGNNFineTuner
+from .controller import SampledStrategy, StrategyController
+from .evolution import EvolutionConfig, EvolutionResult, EvolutionarySearcher
+from .search import S2PGNNSearcher, SearchConfig, SearchResult, random_search
+from .space import DEFAULT_SPACE, FineTuneSpace, FineTuneStrategySpec
+from .supernet import DerivedModel, S2PGNNSupernet
+
+__all__ = [
+    "S2PGNNFineTuner",
+    "FineTuneConfig",
+    "StrategyController",
+    "SampledStrategy",
+    "S2PGNNSearcher",
+    "SearchConfig",
+    "EvolutionarySearcher",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "SearchResult",
+    "random_search",
+    "FineTuneSpace",
+    "FineTuneStrategySpec",
+    "DEFAULT_SPACE",
+    "S2PGNNSupernet",
+    "DerivedModel",
+]

@@ -1,0 +1,101 @@
+"""The GNN fine-tuning search space (paper Sec. III-B, Table III).
+
+Four design dimensions form a strategy ``Phi_ft``:
+
+* ``conv`` — backbone convolution, candidate set ``{pre_trained}``: the
+  pre-trained structure/parameters are transferred as-is (1 choice, but kept
+  explicit so the space complexity formula matches Remark 3).
+* ``identity`` — per-layer identity augmentation, 3 candidates.
+* ``fusion`` — multi-scale fusion across the K layers, 7 candidates.
+* ``readout`` — graph-level readout, 6 candidates.
+
+Total space size: ``|O_conv|^K * |O_id|^K * |O_fuse| * |O_read|`` — for the
+paper's 5-layer GIN, ``1^5 * 3^5 * 7 * 6 = 10,206`` strategies (Remark 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from ..gnn.fusion import FUSION_CANDIDATES
+from ..gnn.identity import IDENTITY_CANDIDATES
+from ..gnn.readout import READOUT_CANDIDATES
+
+__all__ = ["FineTuneSpace", "FineTuneStrategySpec", "DEFAULT_SPACE"]
+
+CONV_CANDIDATES = ["pre_trained"]
+
+
+@dataclass(frozen=True)
+class FineTuneStrategySpec:
+    """One concrete fine-tuning strategy sampled/derived from the space."""
+
+    identity: tuple  # one candidate name per layer, length K
+    fusion: str
+    readout: str
+    conv: str = "pre_trained"
+
+    def describe(self) -> str:
+        ids = ",".join(self.identity)
+        return f"conv={self.conv} id=[{ids}] fuse={self.fusion} read={self.readout}"
+
+
+@dataclass(frozen=True)
+class FineTuneSpace:
+    """Candidate sets per design dimension (paper Table III)."""
+
+    conv: tuple = tuple(CONV_CANDIDATES)
+    identity: tuple = tuple(IDENTITY_CANDIDATES)
+    fusion: tuple = tuple(FUSION_CANDIDATES)
+    readout: tuple = tuple(READOUT_CANDIDATES)
+
+    def __post_init__(self):
+        for name, candidates in [
+            ("conv", self.conv), ("identity", self.identity),
+            ("fusion", self.fusion), ("readout", self.readout),
+        ]:
+            if not candidates:
+                raise ValueError(f"dimension {name!r} must have at least one candidate")
+
+    def size(self, num_layers: int) -> int:
+        """Space cardinality for a K-layer backbone (paper Remark 3)."""
+        return (
+            len(self.conv) ** num_layers
+            * len(self.identity) ** num_layers
+            * len(self.fusion)
+            * len(self.readout)
+        )
+
+    def enumerate(self, num_layers: int):
+        """Yield every strategy in the space (feasible only for tiny K)."""
+        for ids in product(self.identity, repeat=num_layers):
+            for fuse in self.fusion:
+                for read in self.readout:
+                    yield FineTuneStrategySpec(identity=ids, fusion=fuse, readout=read)
+
+    def random_spec(self, num_layers: int, rng) -> FineTuneStrategySpec:
+        """Uniformly sample one strategy (used by the random-search baseline)."""
+        ids = tuple(self.identity[rng.integers(0, len(self.identity))]
+                    for _ in range(num_layers))
+        fuse = self.fusion[rng.integers(0, len(self.fusion))]
+        read = self.readout[rng.integers(0, len(self.readout))]
+        return FineTuneStrategySpec(identity=ids, fusion=fuse, readout=read)
+
+    # ------------------------------------------------------------------
+    # degraded spaces for the paper's ablation (Table IX)
+    # ------------------------------------------------------------------
+    def without_identity(self) -> "FineTuneSpace":
+        """S2PGNN-\\id: disable identity augmentation (zero_aug only)."""
+        return FineTuneSpace(self.conv, ("zero_aug",), self.fusion, self.readout)
+
+    def without_fusion(self) -> "FineTuneSpace":
+        """S2PGNN-\\fuse: last-layer representation only."""
+        return FineTuneSpace(self.conv, self.identity, ("last",), self.readout)
+
+    def without_readout(self) -> "FineTuneSpace":
+        """S2PGNN-\\read: fixed mean pooling (Hu et al.'s default)."""
+        return FineTuneSpace(self.conv, self.identity, self.fusion, ("mean",))
+
+
+DEFAULT_SPACE = FineTuneSpace()

@@ -1,0 +1,176 @@
+"""Weight-sharing supernet and derived model (paper Sec. III-C2, Eq. 12-14).
+
+The supernet holds *every* candidate operator of every dimension.  A sampled
+(relaxed) strategy mixes candidate outputs:
+
+``Z_out = sum_i phi[i] * O_i(Z_in)``
+
+so all strategies share one set of GNN weights ``theta`` — evaluating a new
+strategy never retrains from scratch (the paper's answer to the
+10,206-strategy search cost).
+
+:class:`DerivedModel` instantiates one discrete strategy (post-search) with
+the same candidate implementations, for final fine-tuning and inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..gnn.fusion import make_fusion
+from ..gnn.identity import make_identity_aug
+from ..gnn.readout import make_readout
+from ..graph.graph import Batch
+from ..nn import Linear, Module, ModuleList, Tensor
+from .controller import SampledStrategy
+from .space import FineTuneSpace, FineTuneStrategySpec
+
+__all__ = ["S2PGNNSupernet", "DerivedModel"]
+
+
+class S2PGNNSupernet(Module):
+    """All-candidates model with mixed-operator forward (Eq. 12-14).
+
+    Parameters
+    ----------
+    encoder:
+        The pre-trained backbone (its structure and weights are the
+        ``pre_trained`` conv candidate and are fine-tuned jointly).
+    space:
+        Candidate sets; degraded spaces (ablations) shrink the banks.
+    num_tasks:
+        Downstream prediction width.
+    """
+
+    def __init__(self, encoder: GNNEncoder, space: FineTuneSpace, num_tasks: int,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng((seed, 3))
+        self.encoder = encoder
+        self.space = space
+        self.num_tasks = num_tasks
+        k, d = encoder.num_layers, encoder.emb_dim
+
+        self.identity_banks = ModuleList([
+            ModuleList([make_identity_aug(name, d, rng) for name in space.identity])
+            for _ in range(k)
+        ])
+        self.fusion_bank = ModuleList(
+            [make_fusion(name, k, d, rng) for name in space.fusion]
+        )
+        self.readout_bank = ModuleList(
+            [make_readout(name, d, rng) for name in space.readout]
+        )
+        self.head = Linear(d, num_tasks, rng)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mix(weights: Tensor, outputs: list[Tensor]) -> Tensor:
+        """``sum_i w[i] * O_i`` — skip negligible branches for speed when the
+        weight vector is (nearly) one-hot (low-temperature regime)."""
+        mixed = None
+        w = weights.data
+        for i, out in enumerate(outputs):
+            if out is None:
+                continue
+            term = out * weights[i]
+            mixed = term if mixed is None else mixed + term
+        return mixed
+
+    def forward_full(self, batch: Batch, strategy: SampledStrategy) -> dict:
+        """Mixed-operator forward pass under a relaxed strategy sample."""
+        h = self.encoder.embed_nodes(batch)
+        layers: list[Tensor] = []
+        for k in range(self.encoder.num_layers):
+            z = self.encoder.layer_step(h, batch, k)
+            candidates = [aug(h, z) for aug in self.identity_banks[k]]
+            h = self._mix(strategy.identity[k], candidates)
+            layers.append(h)
+
+        fused = self._mix(
+            strategy.fusion, [fusion(layers) for fusion in self.fusion_bank]
+        )
+        graph_repr = self._mix(
+            strategy.readout,
+            [readout(fused, batch.batch, batch.num_graphs) for readout in self.readout_bank],
+        )
+        logits = self.head(graph_repr)
+        return {"layers": layers, "node": fused, "graph": graph_repr, "logits": logits}
+
+    def forward(self, batch: Batch, strategy: SampledStrategy) -> Tensor:
+        return self.forward_full(batch, strategy)["logits"]
+
+    def theta_parameters(self) -> list:
+        """Shared model weights theta (everything in the supernet; the
+        controller's alpha lives outside this module)."""
+        return [p for p in self.parameters() if p.requires_grad]
+
+
+class DerivedModel(Module):
+    """A discrete strategy instantiated as a standalone model.
+
+    Mirrors :class:`~repro.gnn.prediction.GraphPredictionModel` (same
+    ``forward_full`` contract) so every fine-tuning strategy and evaluator
+    works on it unchanged.
+    """
+
+    def __init__(self, encoder: GNNEncoder, spec: FineTuneStrategySpec,
+                 num_tasks: int, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng((seed, 4))
+        k, d = encoder.num_layers, encoder.emb_dim
+        if len(spec.identity) != k:
+            raise ValueError(
+                f"spec has {len(spec.identity)} identity choices for {k} layers"
+            )
+        self.encoder = encoder
+        self.spec = spec
+        self.num_tasks = num_tasks
+        self.identity_augs = ModuleList(
+            [make_identity_aug(name, d, rng) for name in spec.identity]
+        )
+        self.fusion = make_fusion(spec.fusion, k, d, rng)
+        self.readout = make_readout(spec.readout, d, rng)
+        self.head = Linear(d, num_tasks, rng)
+
+    def forward_full(self, batch: Batch) -> dict:
+        h = self.encoder.embed_nodes(batch)
+        layers: list[Tensor] = []
+        for k in range(self.encoder.num_layers):
+            z = self.encoder.layer_step(h, batch, k)
+            h = self.identity_augs[k](h, z)
+            layers.append(h)
+        fused = self.fusion(layers)
+        graph_repr = self.readout(fused, batch.batch, batch.num_graphs)
+        logits = self.head(graph_repr)
+        return {"layers": layers, "node": fused, "graph": graph_repr, "logits": logits}
+
+    def forward(self, batch: Batch) -> Tensor:
+        return self.forward_full(batch)["logits"]
+
+    def load_from_supernet(self, supernet: "S2PGNNSupernet") -> "DerivedModel":
+        """Warm-start from searched supernet weights (paper Sec. III-C2).
+
+        Weight sharing means the search phase already trained (a) the
+        backbone and (b) every candidate operator.  The derived model copies
+        the encoder plus exactly the candidate modules its spec selected, so
+        post-search fine-tuning continues from the searched weights instead
+        of re-adapting from the raw pre-trained checkpoint — this also keeps
+        the validation-based spec selection (made with shared weights)
+        consistent with the model that is finally trained.
+        """
+        space = supernet.space
+        self.encoder.load_state_dict(supernet.encoder.state_dict())
+        for k, name in enumerate(self.spec.identity):
+            source = supernet.identity_banks[k][space.identity.index(name)]
+            self.identity_augs[k].load_state_dict(source.state_dict())
+        self.fusion.load_state_dict(
+            supernet.fusion_bank[space.fusion.index(self.spec.fusion)].state_dict()
+        )
+        self.readout.load_state_dict(
+            supernet.readout_bank[space.readout.index(self.spec.readout)].state_dict()
+        )
+        if supernet.num_tasks == self.num_tasks:
+            self.head.load_state_dict(supernet.head.state_dict())
+        return self

@@ -1,0 +1,37 @@
+"""``repro.experiments`` — scaled-down reproduction harness for every table."""
+
+from . import configs, runner, tables
+from .configs import BENCH_SCALE, SMOKE_SCALE, Scale
+from .runner import (
+    average_gain,
+    encoder_factory,
+    run_s2pgnn,
+    run_strategy,
+    run_table6,
+    run_table7,
+    run_table8,
+    run_table9,
+    run_table10,
+    run_table11,
+    run_vanilla,
+)
+
+__all__ = [
+    "configs",
+    "runner",
+    "tables",
+    "Scale",
+    "SMOKE_SCALE",
+    "BENCH_SCALE",
+    "encoder_factory",
+    "run_vanilla",
+    "run_strategy",
+    "run_s2pgnn",
+    "average_gain",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "run_table9",
+    "run_table10",
+    "run_table11",
+]

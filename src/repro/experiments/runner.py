@@ -1,0 +1,269 @@
+"""Experiment runners: one function per paper table.
+
+Every runner returns a plain dict structure (dataset -> numbers) that
+:mod:`repro.experiments.tables` formats into the paper's row layout and the
+benchmarks assert shape-properties on (who wins, direction of gaps).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import FineTuneSpace, S2PGNNFineTuner, SearchConfig
+from ..core.api import FineTuneConfig
+from ..finetune import (
+    AdapterFineTune,
+    FeatureExtractorFineTune,
+    LastKFineTune,
+    STRATEGY_REGISTRY,
+    finetune,
+)
+from ..gnn import GraphPredictionModel
+from ..graph import load_dataset
+from ..metrics import higher_is_better
+from ..pretrain import get_pretrained
+from .configs import BENCH_SCALE, Scale
+
+__all__ = [
+    "encoder_factory",
+    "run_vanilla",
+    "run_strategy",
+    "run_s2pgnn",
+    "average_gain",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "run_table9",
+    "run_table10",
+    "run_table11",
+]
+
+
+def encoder_factory(method: str, backbone: str, scale: Scale, seed: int = 0):
+    """Factory of fresh pre-trained encoders under a scale preset."""
+    def factory():
+        return get_pretrained(
+            method,
+            backbone=backbone,
+            num_layers=scale.num_layers,
+            emb_dim=scale.emb_dim,
+            corpus_size=scale.corpus_size,
+            epochs=scale.pretrain_epochs,
+            batch_size=scale.batch_size,
+            seed=seed,
+        )
+    return factory
+
+
+def _load(dataset_name: str, scale: Scale):
+    return load_dataset(dataset_name, **scale.dataset_kwargs(dataset_name))
+
+
+def run_vanilla(method: str, dataset_name: str, backbone: str = "gin",
+                scale: Scale = BENCH_SCALE) -> dict:
+    """Vanilla fine-tuning (fusion=last, readout=mean) averaged over seeds."""
+    return run_strategy("vanilla", method, dataset_name, backbone, scale)
+
+
+def _make_strategy(strategy_name: str, seed: int, **kwargs):
+    if strategy_name == "last_k":
+        return LastKFineTune(kwargs["k"])
+    if strategy_name == "adapter":
+        return AdapterFineTune(kwargs["adapter_dim"], seed=seed)
+    if strategy_name == "stochnorm":
+        return STRATEGY_REGISTRY[strategy_name](seed=seed)
+    return STRATEGY_REGISTRY[strategy_name]()
+
+
+def run_strategy(strategy_name: str, method: str, dataset_name: str,
+                 backbone: str = "gin", scale: Scale = BENCH_SCALE,
+                 **strategy_kwargs) -> dict:
+    """Fine-tune the vanilla architecture under a named strategy."""
+    dataset = _load(dataset_name, scale)
+    scores, secs = [], []
+    for seed in scale.seeds:
+        encoder = encoder_factory(method, backbone, scale, seed=0)()
+        model = GraphPredictionModel(
+            encoder, num_tasks=dataset.num_tasks, fusion="last", readout="mean",
+            seed=seed,
+        )
+        strategy = _make_strategy(strategy_name, seed, **strategy_kwargs)
+        res = finetune(
+            model, dataset, strategy=strategy,
+            epochs=scale.finetune_epochs, batch_size=scale.batch_size,
+            patience=scale.patience, seed=seed,
+        )
+        scores.append(res.test_score)
+        secs.append(res.seconds_per_epoch)
+    return {
+        "mean": float(np.mean(scores)),
+        "std": float(np.std(scores)),
+        "seconds_per_epoch": float(np.mean(secs)),
+        "scores": scores,
+        "metric": dataset.info.metric,
+    }
+
+
+def run_s2pgnn(method: str, dataset_name: str, backbone: str = "gin",
+               scale: Scale = BENCH_SCALE, space: FineTuneSpace | None = None) -> dict:
+    """Search + fine-tune with S2PGNN, averaged over seeds."""
+    from ..core import DEFAULT_SPACE
+
+    dataset = _load(dataset_name, scale)
+    space = space or DEFAULT_SPACE
+    scores, secs, specs = [], [], []
+    for seed in scale.seeds:
+        tuner = S2PGNNFineTuner(
+            encoder_factory(method, backbone, scale, seed=0),
+            space=space,
+            search_config=SearchConfig(
+                epochs=scale.search_epochs, batch_size=scale.batch_size, seed=seed
+            ),
+            finetune_config=FineTuneConfig(
+                epochs=scale.finetune_epochs, batch_size=scale.batch_size,
+                patience=scale.patience,
+            ),
+            seed=seed,
+        )
+        res = tuner.fit(dataset)
+        scores.append(res.test_score)
+        secs.append(res.seconds_per_epoch)
+        specs.append(tuner.best_spec_)
+    return {
+        "mean": float(np.mean(scores)),
+        "std": float(np.std(scores)),
+        "seconds_per_epoch": float(np.mean(secs)),
+        "scores": scores,
+        "specs": [s.describe() for s in specs],
+        "metric": dataset.info.metric,
+    }
+
+
+def average_gain(base: dict, improved: dict) -> float:
+    """Paper's per-dataset relative gain, sign-adjusted by metric direction.
+
+    For ROC-AUC (higher better): ``(improved - base) / base``.
+    For RMSE (lower better): ``(base - improved) / base``.
+    """
+    if base["metric"] != improved["metric"]:
+        raise ValueError("cannot compare runs with different metrics")
+    if higher_is_better(base["metric"]):
+        return (improved["mean"] - base["mean"]) / max(base["mean"], 1e-9)
+    return (base["mean"] - improved["mean"]) / max(base["mean"], 1e-9)
+
+
+# ----------------------------------------------------------------------
+# table drivers
+# ----------------------------------------------------------------------
+def run_table6(methods: list[str], datasets: list[str],
+               scale: Scale = BENCH_SCALE) -> dict:
+    """Table VI: vanilla vs S2PGNN per pre-training method per dataset."""
+    results: dict = {}
+    for method in methods:
+        rows = {}
+        gains = []
+        for name in datasets:
+            base = run_vanilla(method, name, scale=scale)
+            ours = run_s2pgnn(method, name, scale=scale)
+            rows[name] = {"vanilla": base, "s2pgnn": ours}
+            gains.append(average_gain(base, ours))
+        rows["avg_gain"] = float(np.mean(gains))
+        results[method] = rows
+    return results
+
+
+def run_table7(strategies: list[str], datasets: list[str],
+               scale: Scale = BENCH_SCALE, method: str = "contextpred") -> dict:
+    """Table VII: baseline fine-tuning strategies vs S2PGNN (ContextPred+GIN)."""
+    results: dict = {name: {} for name in strategies}
+    for name in strategies:
+        for dataset_name in datasets:
+            results[name][dataset_name] = run_strategy(name, method, dataset_name, scale=scale)
+    results["s2pgnn"] = {
+        dataset_name: run_s2pgnn(method, dataset_name, scale=scale)
+        for dataset_name in datasets
+    }
+    for name, rows in results.items():
+        rows["avg"] = float(np.mean([rows[d]["mean"] for d in datasets]))
+    return results
+
+
+def run_table8(configs: list[tuple], datasets: list[str],
+               scale: Scale = BENCH_SCALE, method: str = "contextpred") -> dict:
+    """Table VIII: FE / Last-k / Adapter strategies outside the search space."""
+    results: dict = {}
+    for strategy_name, kwargs in configs:
+        label = strategy_name
+        if kwargs:
+            label += "_" + "_".join(f"{k}{v}" for k, v in kwargs.items())
+        results[label] = {
+            d: run_strategy(strategy_name, method, d, scale=scale, **kwargs)
+            for d in datasets
+        }
+    results["s2pgnn"] = {
+        d: run_s2pgnn(method, d, scale=scale) for d in datasets
+    }
+    for label, rows in results.items():
+        rows["avg"] = float(np.mean([rows[d]["mean"] for d in datasets]))
+    return results
+
+
+def run_table9(datasets: list[str], scale: Scale = BENCH_SCALE,
+               method: str = "contextpred") -> dict:
+    """Table IX: S2PGNN vs degraded-space variants (-id / -fuse / -read)."""
+    from ..core import DEFAULT_SPACE
+
+    spaces = {
+        "full": DEFAULT_SPACE,
+        "no_id": DEFAULT_SPACE.without_identity(),
+        "no_fuse": DEFAULT_SPACE.without_fusion(),
+        "no_read": DEFAULT_SPACE.without_readout(),
+    }
+    results: dict = {}
+    for variant, space in spaces.items():
+        results[variant] = {
+            d: run_s2pgnn(method, d, scale=scale, space=space) for d in datasets
+        }
+    # Average drop of each degraded variant relative to the full space.
+    for variant in ["no_id", "no_fuse", "no_read"]:
+        drops = [
+            average_gain(results["full"][d], results[variant][d]) for d in datasets
+        ]
+        results[variant]["avg_drop"] = float(np.mean(drops))
+    return results
+
+
+def run_table10(backbones: list[str], datasets: list[str],
+                scale: Scale = BENCH_SCALE, method: str = "contextpred") -> dict:
+    """Table X: vanilla vs S2PGNN across GCN / SAGE / GAT backbones."""
+    results: dict = {}
+    for backbone in backbones:
+        rows = {}
+        gains = []
+        for d in datasets:
+            base = run_vanilla(method, d, backbone=backbone, scale=scale)
+            ours = run_s2pgnn(method, d, backbone=backbone, scale=scale)
+            rows[d] = {"vanilla": base, "s2pgnn": ours}
+            gains.append(average_gain(base, ours))
+        rows["avg_gain"] = float(np.mean(gains))
+        results[backbone] = rows
+    return results
+
+
+def run_table11(strategies: list[str], datasets: list[str],
+                scale: Scale = BENCH_SCALE, method: str = "contextpred") -> dict:
+    """Table XI: seconds/epoch per strategy per dataset."""
+    results: dict = {}
+    for name in strategies:
+        per_dataset = {}
+        for d in datasets:
+            if name == "s2pgnn":
+                run = run_s2pgnn(method, d, scale=scale)
+            else:
+                run = run_strategy(name, method, d, scale=scale)
+            per_dataset[d] = run["seconds_per_epoch"]
+        per_dataset["avg"] = float(np.mean(list(per_dataset.values())))
+        results[name] = per_dataset
+    return results

@@ -1,0 +1,89 @@
+"""Render experiment results in the paper's table layouts (plain text)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "format_table6",
+    "format_table7",
+    "format_table8",
+    "format_table9",
+    "format_table10",
+    "format_table11",
+]
+
+
+def _fmt_cell(run: dict) -> str:
+    scale = 100.0 if run["metric"] == "roc_auc" else 1.0
+    return f"{run['mean'] * scale:.1f}±{run['std'] * scale:.1f}"
+
+
+def _header(datasets: list[str], extra: str) -> str:
+    return "  ".join(["{:<24}".format("row")] + [f"{d:>12}" for d in datasets] + [extra])
+
+
+def format_table6(results: dict, datasets: list[str]) -> str:
+    """Table VI: vanilla vs S2PGNN per pre-training method."""
+    lines = ["Table VI — S2PGNN vs vanilla fine-tuning (GIN backbone)",
+             _header(datasets, "   avg_gain")]
+    for method, rows in results.items():
+        base = [
+            f"{_fmt_cell(rows[d]['vanilla']):>12}" for d in datasets
+        ]
+        ours = [
+            f"{_fmt_cell(rows[d]['s2pgnn']):>12}" for d in datasets
+        ]
+        lines.append("  ".join([f"{method:<24}"] + base + [""]))
+        lines.append("  ".join([f"{method + '+S2PGNN':<24}"] + ours +
+                               [f"{rows['avg_gain'] * 100:+.1f}%"]))
+    return "\n".join(lines)
+
+
+def format_table7(results: dict, datasets: list[str]) -> str:
+    lines = ["Table VII — fine-tuning strategy comparison (ContextPred + GIN)",
+             _header(datasets, "        avg")]
+    for name, rows in results.items():
+        cells = [f"{_fmt_cell(rows[d]):>12}" for d in datasets]
+        lines.append("  ".join([f"{name:<24}"] + cells + [f"{rows['avg'] * 100:.1f}"]))
+    return "\n".join(lines)
+
+
+def format_table8(results: dict, datasets: list[str]) -> str:
+    lines = ["Table VIII — strategies outside the search space (ContextPred + GIN)",
+             _header(datasets, "        avg")]
+    for name, rows in results.items():
+        cells = [f"{_fmt_cell(rows[d]):>12}" for d in datasets]
+        lines.append("  ".join([f"{name:<24}"] + cells + [f"{rows['avg'] * 100:.1f}"]))
+    return "\n".join(lines)
+
+
+def format_table9(results: dict, datasets: list[str]) -> str:
+    lines = ["Table IX — ablation on S2PGNN's design dimensions",
+             _header(datasets, "   avg_drop")]
+    for variant, rows in results.items():
+        cells = [f"{_fmt_cell(rows[d]):>12}" for d in datasets]
+        drop = rows.get("avg_drop")
+        suffix = f"{drop * 100:+.1f}%" if drop is not None else "-"
+        lines.append("  ".join([f"{variant:<24}"] + cells + [suffix]))
+    return "\n".join(lines)
+
+
+def format_table10(results: dict, datasets: list[str]) -> str:
+    lines = ["Table X — other backbone architectures (ContextPred)",
+             _header(datasets, "   avg_gain")]
+    for backbone, rows in results.items():
+        base = [f"{_fmt_cell(rows[d]['vanilla']):>12}" for d in datasets]
+        ours = [f"{_fmt_cell(rows[d]['s2pgnn']):>12}" for d in datasets]
+        label = f"contextpred({backbone})"[:24].ljust(24)
+        lines.append("  ".join([label] + base + [""]))
+        lines.append("  ".join([f"{backbone + '+S2PGNN':<24}"] + ours +
+                               [f"{rows['avg_gain'] * 100:+.1f}%"]))
+    return "\n".join(lines)
+
+
+def format_table11(results: dict, datasets: list[str]) -> str:
+    lines = ["Table XI — running time (seconds per epoch)",
+             _header(datasets, "        avg")]
+    for name, rows in results.items():
+        cells = [f"{rows[d]:>12.3f}" for d in datasets]
+        lines.append("  ".join([f"{name:<24}"] + cells + [f"{rows['avg']:.3f}"]))
+    return "\n".join(lines)

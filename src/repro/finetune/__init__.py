@@ -1,0 +1,51 @@
+"""``repro.finetune`` — fine-tuning strategies Phi_ft (paper Tab. II)."""
+
+from .adapter import AdapterEncoder, AdapterFineTune
+from .base import (
+    FineTuneResult,
+    FineTuneStrategy,
+    evaluate_model,
+    finetune,
+    supervised_loss,
+)
+from .gtot import GTOTFineTune, sinkhorn_plan
+from .partial import FeatureExtractorFineTune, LastKFineTune
+from .regularized import (
+    BSSFineTune,
+    DELTAFineTune,
+    L2SPFineTune,
+    StochNormFineTune,
+    bss_penalty,
+)
+from .vanilla import VanillaFineTune
+
+STRATEGY_REGISTRY = {
+    "vanilla": VanillaFineTune,
+    "l2sp": L2SPFineTune,
+    "delta": DELTAFineTune,
+    "bss": BSSFineTune,
+    "stochnorm": StochNormFineTune,
+    "gtot": GTOTFineTune,
+    "feature_extractor": FeatureExtractorFineTune,
+}
+
+__all__ = [
+    "FineTuneStrategy",
+    "FineTuneResult",
+    "finetune",
+    "evaluate_model",
+    "supervised_loss",
+    "VanillaFineTune",
+    "L2SPFineTune",
+    "DELTAFineTune",
+    "BSSFineTune",
+    "StochNormFineTune",
+    "GTOTFineTune",
+    "sinkhorn_plan",
+    "bss_penalty",
+    "FeatureExtractorFineTune",
+    "LastKFineTune",
+    "AdapterFineTune",
+    "AdapterEncoder",
+    "STRATEGY_REGISTRY",
+]

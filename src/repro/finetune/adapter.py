@@ -1,0 +1,74 @@
+"""Adapter-Tuning (Houlsby et al., 2019) on GNN encoders (paper Tab. VIII).
+
+Parameter-efficient fine-tuning: the pre-trained encoder is frozen and small
+bottleneck adapters (``R^d -> R^m -> R^d``, m in {2, 4, 8}) are inserted
+after every message-passing layer with a residual connection.  Only the
+adapters and the fresh head train (~1-5% of the original parameters, as in
+the paper's empirical setup).
+
+The adapters are injected by wrapping the frozen encoder in
+:class:`AdapterEncoder`, which exposes the same interface as
+:class:`~repro.gnn.encoder.GNNEncoder` so the prediction model is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..graph.graph import Batch
+from ..nn import Bottleneck, Module, ModuleList, Tensor
+from .base import FineTuneStrategy
+
+__all__ = ["AdapterEncoder", "AdapterFineTune"]
+
+
+class AdapterEncoder(Module):
+    """A frozen encoder with residual bottleneck adapters after each layer."""
+
+    def __init__(self, base: GNNEncoder, adapter_dim: int, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng((seed, 97))
+        self.base = base
+        self.adapters = ModuleList(
+            [Bottleneck(base.emb_dim, adapter_dim, rng) for _ in range(base.num_layers)]
+        )
+
+    # Mirror the GNNEncoder interface used by GraphPredictionModel.
+    @property
+    def num_layers(self) -> int:
+        return self.base.num_layers
+
+    @property
+    def emb_dim(self) -> int:
+        return self.base.emb_dim
+
+    @property
+    def conv_type(self) -> str:
+        return self.base.conv_type
+
+    def forward(self, batch: Batch) -> list[Tensor]:
+        h = self.base.embed_nodes(batch)
+        layers: list[Tensor] = []
+        for k in range(self.base.num_layers):
+            h = self.base.layer_step(h, batch, k)
+            h = h + self.adapters[k](h)  # residual adapter
+            layers.append(h)
+        return layers
+
+
+class AdapterFineTune(FineTuneStrategy):
+    """Freeze the encoder; insert and train bottleneck adapters."""
+
+    def __init__(self, adapter_dim: int = 4, seed: int = 0):
+        if adapter_dim < 1:
+            raise ValueError("adapter_dim must be >= 1")
+        self.adapter_dim = adapter_dim
+        self.seed = seed
+        self.name = f"adapter{adapter_dim}"
+
+    def prepare(self, model: Module) -> Module:
+        base = model.encoder
+        base.freeze()
+        model.encoder = AdapterEncoder(base, self.adapter_dim, seed=self.seed)
+        return model

@@ -1,0 +1,47 @@
+"""Partial-tuning baselines: Feature Extractor and Last-k Tuning (Tab. VIII).
+
+* **Feature Extractor (FE)** (Razavian et al., 2014): freeze the whole
+  pre-trained encoder; only the fresh prediction head (and readout/fusion
+  parameters, which are also new) train.  Equivalent to Last-k with k = 0.
+* **Last-k Tuning (LKT)** (Long et al., 2015): freeze the atom embeddings
+  and the first ``K - k`` message-passing layers; tune only the last ``k``
+  layers plus the head.  ``k = K`` recovers vanilla fine-tuning.
+"""
+
+from __future__ import annotations
+
+from ..nn import Module
+from .base import FineTuneStrategy
+
+__all__ = ["FeatureExtractorFineTune", "LastKFineTune"]
+
+
+class FeatureExtractorFineTune(FineTuneStrategy):
+    """Frozen encoder; the pre-trained model is a pure feature extractor."""
+
+    name = "feature_extractor"
+
+    def prepare(self, model: Module) -> Module:
+        model.encoder.freeze()
+        return model
+
+
+class LastKFineTune(FineTuneStrategy):
+    """Tune only the last ``k`` encoder layers (earlier layers frozen)."""
+
+    def __init__(self, k: int):
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        self.k = k
+        self.name = f"last{k}"
+
+    def prepare(self, model: Module) -> Module:
+        encoder = model.encoder
+        encoder.atom_embedding.freeze()
+        encoder.tag_embedding.freeze()
+        cutoff = max(encoder.num_layers - self.k, 0)
+        for i in range(encoder.num_layers):
+            if i < cutoff:
+                encoder.convs[i].freeze()
+                encoder.norms[i].freeze()
+        return model

@@ -1,0 +1,146 @@
+"""Regularized fine-tuning baselines from outside the GNN area (Tab. VII).
+
+* **L2-SP** (Li et al., 2018): pull fine-tuned weights toward the pre-trained
+  starting point ``theta0`` — ``L_reg = a/2 ||theta - theta0||^2 + b/2
+  ||theta_head||^2``.
+* **DELTA** (Li et al., 2019): behaviour regularization — keep fine-tuned
+  *feature maps* close to those of the frozen pre-trained encoder (channel
+  attention omitted; the unweighted variant is DELTA's "L2-FE" form).
+* **BSS** (Chen et al., 2019): penalize the smallest singular values of the
+  batch representation matrix to suppress untransferable spectral components
+  (``L_reg = eta * sum_{i<=k} sigma_{-i}^2``).
+* **StochNorm** (Kou et al., 2020): architecture-level regularization —
+  replace every BatchNorm with stochastic normalization (see
+  :class:`repro.nn.layers.StochNorm1d`).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..graph.graph import Batch
+from ..nn import Module, StochNorm1d, Tensor, no_grad
+from ..nn.functional import l2_norm_squared
+from .base import FineTuneStrategy
+
+__all__ = ["L2SPFineTune", "DELTAFineTune", "BSSFineTune", "StochNormFineTune", "bss_penalty"]
+
+
+class L2SPFineTune(FineTuneStrategy):
+    """Weight-anchoring regularizer toward the pre-trained initialization."""
+
+    name = "l2sp"
+
+    def __init__(self, alpha: float = 1e-2, beta: float = 1e-3):
+        self.alpha = alpha
+        self.beta = beta
+        self._anchor: dict[str, np.ndarray] = {}
+
+    def prepare(self, model: Module) -> Module:
+        # Snapshot the *pre-trained* part (encoder); the fresh head and any
+        # new modules are regularized toward zero with weight beta.
+        self._anchor = {
+            name: param.data.copy()
+            for name, param in model.named_parameters()
+            if name.startswith("encoder.")
+        }
+        return model
+
+    def regularizer(self, model: Module, batch: Batch, outputs: dict) -> Tensor:
+        reg = None
+        for name, param in model.named_parameters():
+            if name in self._anchor:
+                term = l2_norm_squared(param - Tensor(self._anchor[name])) * (self.alpha / 2)
+            else:
+                term = l2_norm_squared(param) * (self.beta / 2)
+            reg = term if reg is None else reg + term
+        return reg
+
+
+class DELTAFineTune(FineTuneStrategy):
+    """Feature-map alignment with the frozen pre-trained encoder."""
+
+    name = "delta"
+
+    def __init__(self, weight: float = 1e-2):
+        self.weight = weight
+        self._frozen: GNNEncoder | None = None
+
+    def prepare(self, model: Module) -> Module:
+        frozen = copy.deepcopy(model.encoder)
+        frozen.freeze()
+        frozen.eval()
+        self._frozen = frozen
+        return model
+
+    def regularizer(self, model: Module, batch: Batch, outputs: dict) -> Tensor:
+        with no_grad():
+            reference = self._frozen(batch)[-1].detach()
+        current = outputs["layers"][-1]
+        diff = current - reference
+        return (diff * diff).mean() * self.weight
+
+
+def bss_penalty(representations: Tensor, k: int = 1) -> Tensor:
+    """Batch Spectral Shrinkage: sum of the k smallest squared singular values.
+
+    Gradient: d(sigma_i^2)/dX = 2 sigma_i u_i v_i^T, wired as a custom
+    autograd node (numpy SVD runs outside the tape).
+    """
+    data = representations.data
+    u, s, vt = np.linalg.svd(data, full_matrices=False)
+    k = min(k, len(s))
+    idx = np.argsort(s)[:k]
+    value = float(np.sum(s[idx] ** 2))
+
+    def backward(g):
+        if not representations.requires_grad:
+            return
+        grad = np.zeros_like(data)
+        for i in idx:
+            grad += 2.0 * s[i] * np.outer(u[:, i], vt[i])
+        representations._accumulate(g * grad)
+
+    return Tensor._result(np.array(value), (representations,), "bss", backward)
+
+
+class BSSFineTune(FineTuneStrategy):
+    """Suppress small singular values of the batch graph-representation matrix."""
+
+    name = "bss"
+
+    def __init__(self, eta: float = 1e-3, k: int = 1):
+        self.eta = eta
+        self.k = k
+
+    def regularizer(self, model: Module, batch: Batch, outputs: dict) -> Tensor:
+        return bss_penalty(outputs["graph"], self.k) * self.eta
+
+
+class StochNormFineTune(FineTuneStrategy):
+    """Swap every BatchNorm in the encoder for StochNorm (same statistics)."""
+
+    name = "stochnorm"
+
+    def __init__(self, p: float = 0.5, seed: int = 0):
+        self.p = p
+        self.seed = seed
+
+    def prepare(self, model: Module) -> Module:
+        encoder = model.encoder
+        for i, norm in enumerate(encoder.norms):
+            stoch = StochNorm1d(
+                norm.dim, p=self.p, momentum=norm.momentum, eps=norm.eps,
+                rng=np.random.default_rng((self.seed, i)),
+            )
+            stoch.gamma.data = norm.gamma.data.copy()
+            stoch.beta.data = norm.beta.data.copy()
+            stoch.set_buffer("running_mean", norm.running_mean.copy())
+            stoch.set_buffer("running_var", norm.running_var.copy())
+            # Replace inside the ModuleList (registration by attribute name).
+            setattr(encoder.norms, f"m{i}", stoch)
+            encoder.norms._items[i] = stoch
+        return model

@@ -1,0 +1,17 @@
+"""Vanilla fine-tuning (VFT) — the prevalent baseline (paper Sec. II-B).
+
+All parameters of the pre-trained GNN plus the fresh prediction head are
+trained with the plain supervised loss: ``L_ft == L_sup`` (paper Eq. 8).
+"""
+
+from __future__ import annotations
+
+from .base import FineTuneStrategy
+
+__all__ = ["VanillaFineTune"]
+
+
+class VanillaFineTune(FineTuneStrategy):
+    """Train everything, no regularization."""
+
+    name = "vanilla"

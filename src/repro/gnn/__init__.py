@@ -1,0 +1,39 @@
+"""``repro.gnn`` — message passing, encoders, fusion, and readout modules."""
+
+from .conv import (
+    CONV_TYPES,
+    BondEncoder,
+    GATConv,
+    GCNConv,
+    GINConv,
+    SAGEConv,
+    make_conv,
+    segment_softmax,
+)
+from .encoder import GNNEncoder
+from .fusion import FUSION_CANDIDATES, make_fusion
+from .identity import IDENTITY_CANDIDATES, IdentityAug, TransAug, ZeroAug, make_identity_aug
+from .prediction import GraphPredictionModel
+from .readout import READOUT_CANDIDATES, make_readout
+
+__all__ = [
+    "CONV_TYPES",
+    "BondEncoder",
+    "GINConv",
+    "GCNConv",
+    "SAGEConv",
+    "GATConv",
+    "make_conv",
+    "segment_softmax",
+    "GNNEncoder",
+    "FUSION_CANDIDATES",
+    "make_fusion",
+    "IDENTITY_CANDIDATES",
+    "ZeroAug",
+    "IdentityAug",
+    "TransAug",
+    "make_identity_aug",
+    "READOUT_CANDIDATES",
+    "make_readout",
+    "GraphPredictionModel",
+]

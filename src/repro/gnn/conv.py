@@ -1,0 +1,192 @@
+"""Message-passing convolutions: GCN, GraphSAGE, GIN, GAT (paper Sec. II-A1).
+
+All four follow the molecular-GNN convention of Hu et al. (2019): bond
+(edge) features are embedded per layer and *added* to the source node's
+message before aggregation.  Each convolution maps
+
+``(h: (N, d) Tensor, edge_index: (2, E), edge_attr: (E, 2)) -> (N, d) Tensor``
+
+so layers are interchangeable inside the encoder — which is what lets the
+paper treat ``phi_conv`` as a transferred black box (Table III: the backbone
+convolution candidate set is exactly ``{pre_trained}``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.molecule import MASK_BOND_ID, NUM_BOND_TAGS, NUM_BOND_TYPES
+from ..nn import (
+    Embedding,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    Tensor,
+    concatenate,
+    gather,
+    segment_max,
+    segment_mean,
+    segment_sum,
+)
+
+__all__ = ["BondEncoder", "GINConv", "GCNConv", "SAGEConv", "GATConv", "make_conv",
+           "CONV_TYPES", "segment_softmax"]
+
+CONV_TYPES = ["gin", "gcn", "sage", "gat"]
+
+
+class BondEncoder(Module):
+    """Embed bond type + bond tag into the node feature space (summed)."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        # +1 slot for the mask token used by masked-component pre-training.
+        self.type_embedding = Embedding(NUM_BOND_TYPES + 1, dim, rng)
+        self.tag_embedding = Embedding(NUM_BOND_TAGS, dim, rng)
+
+    def forward(self, edge_attr: np.ndarray) -> Tensor:
+        return self.type_embedding(edge_attr[:, 0]) + self.tag_embedding(edge_attr[:, 1])
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of ``scores`` grouped by segment (per-destination attention).
+
+    The per-segment max is subtracted as a constant for numerical stability;
+    gradients flow through the exponential and normalizer exactly.
+    """
+    seg_max = segment_max(scores, segment_ids, num_segments).detach()
+    shifted = scores - gather(seg_max, segment_ids)
+    exp = shifted.exp()
+    denom = segment_sum(exp, segment_ids, num_segments)
+    return exp / (gather(denom, segment_ids) + 1e-16)
+
+
+class GINConv(Module):
+    """Graph Isomorphism Network layer (Xu et al., 2019).
+
+    ``M_v = SUM(h_u + e_uv); h_v = MLP((1 + eps) h_v + M_v)`` with a
+    learnable scalar ``eps`` balancing self vs. neighbor messages.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        self.bond_encoder = BondEncoder(dim, rng)
+        self.mlp = MLP([dim, 2 * dim, dim], rng)
+        self.eps = Parameter(np.zeros(1))
+
+    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
+        num_nodes = h.shape[0]
+        if edge_index.shape[1]:
+            messages = gather(h, edge_index[0]) + self.bond_encoder(edge_attr)
+            agg = segment_sum(messages, edge_index[1], num_nodes)
+        else:
+            agg = Tensor(np.zeros_like(h.data))
+        return self.mlp(h * (self.eps + 1.0) + agg)
+
+
+class GCNConv(Module):
+    """GCN layer (Kipf & Welling) with symmetric degree normalization.
+
+    ``h_v = ReLU(W * sum_u 1/sqrt(d_u d_v) (h_u + e_uv))`` with implicit
+    self-loops (a degree-normalized self term, no bond embedding).
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        self.bond_encoder = BondEncoder(dim, rng)
+        self.linear = Linear(dim, dim, rng)
+
+    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
+        num_nodes = h.shape[0]
+        deg = np.bincount(edge_index[1], minlength=num_nodes).astype(np.float64) + 1.0
+        inv_sqrt = 1.0 / np.sqrt(deg)
+        if edge_index.shape[1]:
+            norm = inv_sqrt[edge_index[0]] * inv_sqrt[edge_index[1]]
+            messages = (gather(h, edge_index[0]) + self.bond_encoder(edge_attr))
+            messages = messages * Tensor(norm[:, None])
+            agg = segment_sum(messages, edge_index[1], num_nodes)
+        else:
+            agg = Tensor(np.zeros_like(h.data))
+        self_term = h * Tensor(inv_sqrt[:, None] ** 2)
+        return self.linear(agg + self_term).relu()
+
+
+class SAGEConv(Module):
+    """GraphSAGE layer: mean-aggregate neighbors, concat with self, project."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        self.bond_encoder = BondEncoder(dim, rng)
+        self.linear = Linear(2 * dim, dim, rng)
+
+    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
+        num_nodes = h.shape[0]
+        if edge_index.shape[1]:
+            messages = gather(h, edge_index[0]) + self.bond_encoder(edge_attr)
+            agg = segment_mean(messages, edge_index[1], num_nodes)
+        else:
+            agg = Tensor(np.zeros_like(h.data))
+        return self.linear(concatenate([h, agg], axis=-1)).relu()
+
+
+class GATConv(Module):
+    """Graph attention layer (Velickovic et al.) with ``num_heads`` heads.
+
+    Head outputs are averaged (not concatenated) so the layer maps d -> d
+    and stays interchangeable with the other convolutions.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator, num_heads: int = 2,
+                 negative_slope: float = 0.2):
+        super().__init__()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.negative_slope = negative_slope
+        self.bond_encoder = BondEncoder(dim, rng)
+        self.proj = Linear(dim, dim * num_heads, rng, bias=False)
+        self.att_src = Parameter(np.asarray(
+            rng.normal(0.0, 0.1, size=(num_heads, dim))))
+        self.att_dst = Parameter(np.asarray(
+            rng.normal(0.0, 0.1, size=(num_heads, dim))))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
+        num_nodes = h.shape[0]
+        if not edge_index.shape[1]:
+            return h @ self.proj.weight[:, :self.dim] + self.bias
+        projected = self.proj(h)  # (N, heads*d)
+        bond = self.bond_encoder(edge_attr)
+        head_outputs = []
+        for head in range(self.num_heads):
+            hp = projected[:, head * self.dim:(head + 1) * self.dim]
+            src_feat = gather(hp, edge_index[0]) + bond
+            dst_feat = gather(hp, edge_index[1])
+            alpha_vec_s = self.att_src[head]
+            alpha_vec_d = self.att_dst[head]
+            scores = (src_feat * alpha_vec_s).sum(axis=-1) + (dst_feat * alpha_vec_d).sum(axis=-1)
+            scores = scores.leaky_relu(self.negative_slope)
+            attn = segment_softmax(scores, edge_index[1], num_nodes)
+            weighted = src_feat * attn.reshape(-1, 1)
+            head_outputs.append(segment_sum(weighted, edge_index[1], num_nodes))
+        out = head_outputs[0]
+        for extra in head_outputs[1:]:
+            out = out + extra
+        return out * (1.0 / self.num_heads) + self.bias
+
+
+def make_conv(conv_type: str, dim: int, rng: np.random.Generator) -> Module:
+    """Factory over :data:`CONV_TYPES`."""
+    conv_type = conv_type.lower()
+    if conv_type == "gin":
+        return GINConv(dim, rng)
+    if conv_type == "gcn":
+        return GCNConv(dim, rng)
+    if conv_type == "sage":
+        return SAGEConv(dim, rng)
+    if conv_type == "gat":
+        return GATConv(dim, rng)
+    raise ValueError(f"unknown conv type {conv_type!r}; known: {CONV_TYPES}")

@@ -1,0 +1,96 @@
+"""K-layer GNN encoder producing per-layer node representations.
+
+Follows the standard molecular pre-training architecture (Hu et al. 2019;
+the "classic 5-layer GIN backbone" of paper Fig. 3): atom embeddings,
+K message-passing layers each followed by BatchNorm, ReLU between layers
+(none after the last), and dropout.  ``forward`` returns *all* layer
+representations ``[h^(1), ..., h^(K)]`` because the paper's multi-scale
+fusion dimension ``phi_fuse`` consumes the full trajectory (Eq. 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Batch
+from ..graph.molecule import MASK_ATOM_ID, NUM_ATOM_TAGS
+from ..nn import BatchNorm1d, Dropout, Embedding, Module, ModuleList, Tensor
+from .conv import make_conv
+
+__all__ = ["GNNEncoder"]
+
+
+class GNNEncoder(Module):
+    """Pre-trainable graph encoder ``f_psi_theta`` (paper Sec. II).
+
+    Parameters
+    ----------
+    conv_type:
+        One of ``gin | gcn | sage | gat`` (paper Sec. IV-A1 backbones).
+    num_layers:
+        K; paper uses 5.
+    emb_dim:
+        Hidden width d; paper uses 300, we default smaller for CPU.
+    dropout:
+        Applied after every layer (paper uses 0.5 during fine-tuning).
+    """
+
+    def __init__(
+        self,
+        conv_type: str = "gin",
+        num_layers: int = 5,
+        emb_dim: int = 64,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one GNN layer")
+        rng = np.random.default_rng(seed)
+        self.conv_type = conv_type
+        self.num_layers = num_layers
+        self.emb_dim = emb_dim
+        # +1 atom slot for the mask token (AttrMasking / GraphMAE / Mole-BERT).
+        self.atom_embedding = Embedding(MASK_ATOM_ID + 1, emb_dim, rng)
+        self.tag_embedding = Embedding(NUM_ATOM_TAGS, emb_dim, rng)
+        self.convs = ModuleList([make_conv(conv_type, emb_dim, rng) for _ in range(num_layers)])
+        self.norms = ModuleList([BatchNorm1d(emb_dim) for _ in range(num_layers)])
+        self.dropout = Dropout(dropout, np.random.default_rng((seed, 1)))
+
+    def embed_nodes(self, batch: Batch) -> Tensor:
+        """Initial node representation h^(0) from atom attributes."""
+        return self.atom_embedding(batch.x[:, 0]) + self.tag_embedding(batch.x[:, 1])
+
+    def forward(self, batch: Batch) -> list[Tensor]:
+        """Return per-layer node representations ``[h^(1), ..., h^(K)]``."""
+        return self.forward_from(self.embed_nodes(batch), batch)
+
+    def forward_from(self, h0: Tensor, batch: Batch) -> list[Tensor]:
+        """Run message passing from a caller-supplied h^(0).
+
+        Split out so the S2PGNN supernet can interleave identity-augmentation
+        candidates between transferred convolution layers (Eq. 12) while
+        reusing this module's convolutions and norms.
+        """
+        h = h0
+        layers: list[Tensor] = []
+        for k, (conv, norm) in enumerate(zip(self.convs, self.norms)):
+            h = conv(h, batch.edge_index, batch.edge_attr)
+            h = norm(h)
+            if k < self.num_layers - 1:
+                h = h.relu()
+            h = self.dropout(h)
+            layers.append(h)
+        return layers
+
+    def layer_step(self, h: Tensor, batch: Batch, k: int) -> Tensor:
+        """Apply layer ``k``'s conv+norm(+relu)+dropout to ``h`` (supernet hook)."""
+        h = self.convs[k](h, batch.edge_index, batch.edge_attr)
+        h = self.norms[k](h)
+        if k < self.num_layers - 1:
+            h = h.relu()
+        return self.dropout(h)
+
+    def node_representation(self, batch: Batch) -> Tensor:
+        """Last-layer node representation (the vanilla, no-fusion choice)."""
+        return self.forward(batch)[-1]

@@ -1,0 +1,155 @@
+"""Multi-scale fusion candidates ``phi_fuse`` (paper Sec. III-B3, Tab. III).
+
+Each candidate maps the per-layer node representations
+``[h^(1), ..., h^(K)]`` (each ``(N, d)``) to a single ``(N, d)`` fused
+representation ``H_v = sum_k w_v^(k) h_v^(k)``:
+
+* non-parametric: ``last`` (disable fusion), ``concat`` (+ linear
+  re-projection to d), ``max``, ``mean``, ``ppr`` (Personalized-PageRank
+  decayed weights);
+* attentive: ``lstm`` — Jumping-Knowledge-style bidirectional LSTM over the
+  layer sequence producing per-node, per-layer attention in [0,1] summing
+  to 1 (Xu et al., 2018);
+* gated: ``gpr`` — learnable signed per-layer scalars, initialized to the
+  PPR profile but free to move in [-1, 1] and beyond (Chien et al., 2021).
+
+All candidates share the output contract ``(N, d)`` so the supernet can mix
+them with relaxed one-hot weights (paper Eq. 17).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import LSTM, Linear, Module, Parameter, Tensor, concatenate, stack
+from ..nn.functional import softmax
+
+__all__ = [
+    "LastFusion",
+    "ConcatFusion",
+    "MaxFusion",
+    "MeanFusion",
+    "PPRFusion",
+    "LSTMFusion",
+    "GPRFusion",
+    "make_fusion",
+    "FUSION_CANDIDATES",
+]
+
+FUSION_CANDIDATES = ["last", "concat", "max", "mean", "ppr", "lstm", "gpr"]
+
+
+class LastFusion(Module):
+    """Disable fusion: use the final layer only (the vanilla choice)."""
+
+    def forward(self, layers: list[Tensor]) -> Tensor:
+        return layers[-1]
+
+
+class ConcatFusion(Module):
+    """Concatenate all layers, then linearly re-project to width d."""
+
+    def __init__(self, num_layers: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.proj = Linear(num_layers * dim, dim, rng)
+
+    def forward(self, layers: list[Tensor]) -> Tensor:
+        return self.proj(concatenate(layers, axis=-1))
+
+
+class MaxFusion(Module):
+    """Channel-wise maximum across layers."""
+
+    def forward(self, layers: list[Tensor]) -> Tensor:
+        return stack(layers, axis=0).max(axis=0)
+
+
+class MeanFusion(Module):
+    """Equal-weight average of layers."""
+
+    def forward(self, layers: list[Tensor]) -> Tensor:
+        out = layers[0]
+        for layer in layers[1:]:
+            out = out + layer
+        return out * (1.0 / len(layers))
+
+
+class PPRFusion(Module):
+    """Personalized-PageRank decayed weights ``w_k ∝ gamma (1-gamma)^k``."""
+
+    def __init__(self, num_layers: int, gamma: float = 0.15):
+        super().__init__()
+        if not 0.0 < gamma < 1.0:
+            raise ValueError("gamma must be in (0, 1)")
+        weights = gamma * (1.0 - gamma) ** np.arange(num_layers, dtype=np.float64)
+        self.weights = weights / weights.sum()
+
+    def forward(self, layers: list[Tensor]) -> Tensor:
+        out = layers[0] * float(self.weights[0])
+        for w, layer in zip(self.weights[1:], layers[1:]):
+            out = out + layer * float(w)
+        return out
+
+
+class LSTMFusion(Module):
+    """Jumping-Knowledge LSTM attention over layers (Xu et al., 2018).
+
+    A bidirectional LSTM reads each node's layer trajectory; a linear scorer
+    turns each step's hidden state into a scalar; softmax over layers yields
+    per-node attention weights ``w_v^(k) in [0, 1]``, ``sum_k w_v^(k) = 1``.
+    """
+
+    def __init__(self, num_layers: int, dim: int, rng: np.random.Generator,
+                 lstm_hidden: int | None = None):
+        super().__init__()
+        hidden = lstm_hidden or max(dim // 2, 4)
+        self.lstm = LSTM(dim, hidden, rng, bidirectional=True)
+        self.scorer = Linear(2 * hidden, 1, rng)
+
+    def forward(self, layers: list[Tensor]) -> Tensor:
+        states = self.lstm(layers)  # K tensors (N, 2*hidden)
+        scores = concatenate([self.scorer(s) for s in states], axis=-1)  # (N, K)
+        attn = softmax(scores, axis=-1)
+        out = layers[0] * attn[:, 0:1]
+        for k in range(1, len(layers)):
+            out = out + layers[k] * attn[:, k:k + 1]
+        return out
+
+
+class GPRFusion(Module):
+    """Generalized-PageRank fusion: learnable signed per-layer scalars.
+
+    Initialized to the PPR profile; training can flip signs to filter
+    (high-pass) information at chosen scales, as in GPR-GNN.
+    """
+
+    def __init__(self, num_layers: int, gamma: float = 0.15):
+        super().__init__()
+        init = gamma * (1.0 - gamma) ** np.arange(num_layers, dtype=np.float64)
+        self.gamma = Parameter(init / init.sum())
+
+    def forward(self, layers: list[Tensor]) -> Tensor:
+        out = layers[0] * self.gamma[0]
+        for k in range(1, len(layers)):
+            out = out + layers[k] * self.gamma[k]
+        return out
+
+
+def make_fusion(name: str, num_layers: int, dim: int,
+                rng: np.random.Generator) -> Module:
+    """Factory over :data:`FUSION_CANDIDATES`."""
+    if name == "last":
+        return LastFusion()
+    if name == "concat":
+        return ConcatFusion(num_layers, dim, rng)
+    if name == "max":
+        return MaxFusion()
+    if name == "mean":
+        return MeanFusion()
+    if name == "ppr":
+        return PPRFusion(num_layers)
+    if name == "lstm":
+        return LSTMFusion(num_layers, dim, rng)
+    if name == "gpr":
+        return GPRFusion(num_layers)
+    raise ValueError(f"unknown fusion {name!r}; known: {FUSION_CANDIDATES}")

@@ -1,0 +1,62 @@
+"""Identity-augmentation candidates ``phi_id`` (paper Sec. III-B2).
+
+Each candidate combines the incoming representation ``h`` (center node
+identity, pre-convolution) with the convolution output ``z``:
+
+* ``zero_aug`` — disabled; keep the pre-trained backbone's flow: ``h <- z``.
+* ``identity_aug`` — direct skip connection: ``h <- h + z``.
+* ``trans_aug`` — transformed skip: ``h <- g(h) + z`` where ``g`` is a
+  parameter-efficient bottleneck (``R^d -> R^m -> R^d``, m << d), initialized
+  near-zero so search starts from the pre-trained behaviour.
+
+The paper motivates this dimension by noisy/unreliable neighborhoods and
+over-smoothing in some backbones (e.g. GCN): letting some layers re-inject
+center-node identity adjusts the message flow per dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Bottleneck, Module, Tensor
+
+__all__ = ["ZeroAug", "IdentityAug", "TransAug", "make_identity_aug", "IDENTITY_CANDIDATES"]
+
+IDENTITY_CANDIDATES = ["zero_aug", "identity_aug", "trans_aug"]
+
+
+class ZeroAug(Module):
+    """No augmentation — pass the convolution output through unchanged."""
+
+    def forward(self, h_prev: Tensor, z: Tensor) -> Tensor:
+        return z
+
+
+class IdentityAug(Module):
+    """Additive skip connection from the pre-convolution representation."""
+
+    def forward(self, h_prev: Tensor, z: Tensor) -> Tensor:
+        return h_prev + z
+
+
+class TransAug(Module):
+    """Bottleneck-transformed skip connection (adapter-style ``g``)."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.transform = Bottleneck(dim, hidden, rng)
+
+    def forward(self, h_prev: Tensor, z: Tensor) -> Tensor:
+        return self.transform(h_prev) + z
+
+
+def make_identity_aug(name: str, dim: int, rng: np.random.Generator,
+                      bottleneck: int = 8) -> Module:
+    """Factory over :data:`IDENTITY_CANDIDATES`."""
+    if name == "zero_aug":
+        return ZeroAug()
+    if name == "identity_aug":
+        return IdentityAug()
+    if name == "trans_aug":
+        return TransAug(dim, min(bottleneck, max(dim // 2, 1)), rng)
+    raise ValueError(f"unknown identity augmentation {name!r}")

@@ -1,0 +1,69 @@
+"""End-to-end graph prediction model: encoder + fusion + readout + head.
+
+This is the downstream model every fine-tuning strategy trains.  The vanilla
+configuration (fusion="last", readout="mean", paper Sec. IV) reproduces the
+standard Hu et al. fine-tuning architecture; S2PGNN instead *searches* the
+fusion/readout/identity dimensions (see :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Batch
+from ..nn import Linear, Module, Tensor
+from .encoder import GNNEncoder
+from .fusion import make_fusion
+from .readout import make_readout
+
+__all__ = ["GraphPredictionModel"]
+
+
+class GraphPredictionModel(Module):
+    """Graph-level predictor with pluggable fusion and readout.
+
+    Parameters
+    ----------
+    encoder:
+        A (possibly pre-trained) :class:`GNNEncoder`.
+    num_tasks:
+        Output width — one logit (classification) or value (regression) per
+        task; the head is a fresh linear classifier (paper Sec. IV-A4).
+    fusion / readout:
+        Candidate names from :data:`repro.gnn.fusion.FUSION_CANDIDATES` and
+        :data:`repro.gnn.readout.READOUT_CANDIDATES`.
+    """
+
+    def __init__(
+        self,
+        encoder: GNNEncoder,
+        num_tasks: int,
+        fusion: str = "last",
+        readout: str = "mean",
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng((seed, 42))
+        self.encoder = encoder
+        self.num_tasks = num_tasks
+        self.fusion_name = fusion
+        self.readout_name = readout
+        self.fusion = make_fusion(fusion, encoder.num_layers, encoder.emb_dim, rng)
+        self.readout = make_readout(readout, encoder.emb_dim, rng)
+        self.head = Linear(encoder.emb_dim, num_tasks, rng)
+
+    def forward(self, batch: Batch) -> Tensor:
+        return self.forward_full(batch)["logits"]
+
+    def forward_full(self, batch: Batch) -> dict:
+        """Return all intermediates (needed by DELTA / GTOT regularizers)."""
+        layers = self.encoder(batch)
+        fused = self.fusion(layers)
+        graph_repr = self.readout(fused, batch.batch, batch.num_graphs)
+        logits = self.head(graph_repr)
+        return {
+            "layers": layers,
+            "node": fused,
+            "graph": graph_repr,
+            "logits": logits,
+        }

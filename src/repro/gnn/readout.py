@@ -1,0 +1,141 @@
+"""Graph-level readout candidates ``phi_read`` (paper Sec. III-B4, Tab. III).
+
+Each candidate maps node representations to one vector per graph:
+
+``(h: (N, d), batch: (N,), num_graphs) -> (B, d)``
+
+Simple readouts (sum / mean / max pooling) are parameter-free; adaptive
+readouts (Set2Set, SortPool, NeuralPool) identify informative nodes or
+substructures.  Candidates whose natural output width differs from ``d``
+(Set2Set: 2d, SortPool: k*d) include a linear re-projection so every
+candidate shares the ``(B, d)`` contract required for supernet mixing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import LSTMCell, Linear, MLP, Module, Tensor, concatenate, gather, segment_max, segment_mean, segment_sum
+from .conv import segment_softmax
+
+__all__ = [
+    "SumReadout",
+    "MeanReadout",
+    "MaxReadout",
+    "Set2SetReadout",
+    "SortPoolReadout",
+    "NeuralPoolReadout",
+    "make_readout",
+    "READOUT_CANDIDATES",
+]
+
+READOUT_CANDIDATES = ["sum", "mean", "max", "set2set", "sort", "neural"]
+
+
+class SumReadout(Module):
+    """Sum pooling — captures extensive (size-dependent) properties."""
+
+    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+        return segment_sum(h, batch, num_graphs)
+
+
+class MeanReadout(Module):
+    """Mean pooling — the paper's (and Hu et al.'s) vanilla readout."""
+
+    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+        return segment_mean(h, batch, num_graphs)
+
+
+class MaxReadout(Module):
+    """Channel-wise max pooling — dominant-feature detector."""
+
+    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+        return segment_max(h, batch, num_graphs)
+
+
+class Set2SetReadout(Module):
+    """Set2Set (Vinyals et al., 2015): LSTM-driven content attention.
+
+    ``processing_steps`` rounds of: query from an LSTM, attention over each
+    graph's nodes, attended readout appended to the query state.  The final
+    ``(B, 2d)`` state is projected back to ``(B, d)``.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator, processing_steps: int = 3):
+        super().__init__()
+        self.dim = dim
+        self.processing_steps = processing_steps
+        self.lstm = LSTMCell(2 * dim, dim, rng)
+        self.proj = Linear(2 * dim, dim, rng)
+
+    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+        q_star = Tensor(np.zeros((num_graphs, 2 * self.dim)))
+        state_h, state_c = self.lstm.initial_state(num_graphs)
+        for _ in range(self.processing_steps):
+            state_h, state_c = self.lstm(q_star, state_h, state_c)
+            scores = (h * gather(state_h, batch)).sum(axis=-1)
+            attn = segment_softmax(scores, batch, num_graphs)
+            readout = segment_sum(h * attn.reshape(-1, 1), batch, num_graphs)
+            q_star = concatenate([state_h, readout], axis=-1)
+        return self.proj(q_star)
+
+
+class SortPoolReadout(Module):
+    """SortPooling (Zhang et al., 2018): order nodes by the last channel,
+    keep the top-k per graph (zero-padded), flatten, and project to d.
+
+    The sort order is computed outside the tape (a discrete decision);
+    gradients flow through the selected rows, as in the original.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator, k: int = 4):
+        super().__init__()
+        self.k = k
+        self.dim = dim
+        self.proj = Linear(k * dim, dim, rng)
+
+    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+        sort_channel = h.data[:, -1]
+        chunks: list[Tensor] = []
+        for g in range(num_graphs):
+            nodes = np.flatnonzero(batch == g)
+            order = nodes[np.argsort(-sort_channel[nodes])][: self.k]
+            selected = gather(h, order)  # (<=k, d)
+            if len(order) < self.k:
+                pad = Tensor(np.zeros((self.k - len(order), self.dim)))
+                selected = concatenate([selected, pad], axis=0)
+            chunks.append(selected.reshape(1, self.k * self.dim))
+        return self.proj(concatenate(chunks, axis=0))
+
+
+class NeuralPoolReadout(Module):
+    """Adaptive neural readout (Buterez et al., 2022): MLP -> sum -> MLP.
+
+    The pre-aggregation MLP lets the model re-weight node channels before
+    pooling; the post-aggregation MLP mixes the pooled statistics.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.pre = MLP([dim, dim, dim], rng, activate_last=True)
+        self.post = MLP([dim, dim], rng)
+
+    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+        return self.post(segment_sum(self.pre(h), batch, num_graphs))
+
+
+def make_readout(name: str, dim: int, rng: np.random.Generator) -> Module:
+    """Factory over :data:`READOUT_CANDIDATES`."""
+    if name == "sum":
+        return SumReadout()
+    if name == "mean":
+        return MeanReadout()
+    if name == "max":
+        return MaxReadout()
+    if name == "set2set":
+        return Set2SetReadout(dim, rng)
+    if name == "sort":
+        return SortPoolReadout(dim, rng)
+    if name == "neural":
+        return NeuralPoolReadout(dim, rng)
+    raise ValueError(f"unknown readout {name!r}; known: {READOUT_CANDIDATES}")

@@ -1,0 +1,56 @@
+"""``repro.graph`` — graph data substrate (datasets, batching, scaffolds)."""
+
+from . import transforms
+from .datasets import (
+    DATASET_REGISTRY,
+    DOWNSTREAM_DATASETS,
+    DatasetInfo,
+    MolecularDataset,
+    load_dataset,
+    zinc_corpus,
+)
+from .graph import Batch, Graph
+from .loader import DataLoader
+from .molecule import (
+    ATOM_SYMBOLS,
+    ATOM_VALENCES,
+    BOND_ORDER,
+    DESCRIPTOR_DIM,
+    MASK_ATOM_ID,
+    MASK_BOND_ID,
+    NUM_ATOM_TAGS,
+    NUM_ATOM_TYPES,
+    NUM_BOND_TAGS,
+    NUM_BOND_TYPES,
+    MoleculeGenerator,
+    molecule_descriptors,
+)
+from .scaffold import murcko_scaffold_nodes, scaffold_key, scaffold_split
+
+__all__ = [
+    "transforms",
+    "Graph",
+    "Batch",
+    "DataLoader",
+    "DatasetInfo",
+    "MolecularDataset",
+    "DATASET_REGISTRY",
+    "DOWNSTREAM_DATASETS",
+    "load_dataset",
+    "zinc_corpus",
+    "MoleculeGenerator",
+    "molecule_descriptors",
+    "murcko_scaffold_nodes",
+    "scaffold_key",
+    "scaffold_split",
+    "ATOM_SYMBOLS",
+    "ATOM_VALENCES",
+    "BOND_ORDER",
+    "DESCRIPTOR_DIM",
+    "MASK_ATOM_ID",
+    "MASK_BOND_ID",
+    "NUM_ATOM_TYPES",
+    "NUM_ATOM_TAGS",
+    "NUM_BOND_TYPES",
+    "NUM_BOND_TAGS",
+]

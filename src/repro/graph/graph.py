@@ -1,0 +1,152 @@
+"""Graph and Batch containers (struct-of-arrays, PyG-style).
+
+A :class:`Graph` stores one attributed molecule-like graph:
+
+* ``x`` — ``(num_nodes, 2)`` int64 node attributes ``[atom_type, atom_tag]``
+  (the two-slot layout mirrors Hu et al. 2019's atom-type + chirality input).
+* ``edge_index`` — ``(2, num_edges)`` int64 directed edge list; undirected
+  molecular bonds are stored as both directions.
+* ``edge_attr`` — ``(num_edges, 2)`` int64 ``[bond_type, bond_tag]``.
+* ``y`` — ``(num_tasks,)`` float64 labels; ``nan`` marks a missing label
+  (multi-task MoleculeNet datasets have sparse label matrices).
+
+:class:`Batch` is the disjoint union of many graphs with a ``batch`` vector
+mapping each node to its source graph — the representation every
+aggregation / readout primitive in :mod:`repro.nn.tensor` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Graph", "Batch"]
+
+
+@dataclass
+class Graph:
+    """One attributed graph with optional labels and metadata."""
+
+    x: np.ndarray
+    edge_index: np.ndarray
+    edge_attr: np.ndarray
+    y: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=np.int64)
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64).reshape(2, -1)
+        self.edge_attr = np.asarray(self.edge_attr, dtype=np.int64)
+        if self.edge_attr.ndim == 1:
+            self.edge_attr = self.edge_attr.reshape(-1, 1)
+        if self.y is not None:
+            self.y = np.asarray(self.y, dtype=np.float64).reshape(-1)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *directed* edges (2x the bond count)."""
+        return int(self.edge_index.shape[1])
+
+    @property
+    def num_tasks(self) -> int:
+        return 0 if self.y is None else int(self.y.shape[0])
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on structurally inconsistent data."""
+        if self.x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {self.x.shape}")
+        if self.num_edges:
+            lo, hi = self.edge_index.min(), self.edge_index.max()
+            if lo < 0 or hi >= self.num_nodes:
+                raise ValueError(
+                    f"edge_index out of range [0, {self.num_nodes}): ({lo}, {hi})"
+                )
+        if self.edge_attr.shape[0] != self.num_edges:
+            raise ValueError(
+                f"edge_attr rows ({self.edge_attr.shape[0]}) != num_edges ({self.num_edges})"
+            )
+
+    def degrees(self) -> np.ndarray:
+        """In-degree per node under the directed edge list."""
+        return np.bincount(self.edge_index[1], minlength=self.num_nodes)
+
+    def is_undirected(self) -> bool:
+        """True if every directed edge has its reverse present."""
+        fwd = set(map(tuple, self.edge_index.T))
+        return all((v, u) in fwd for (u, v) in fwd)
+
+    def to_networkx(self):
+        """Convert to ``networkx.Graph`` with atom/bond labels (for scaffolds)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for i in range(self.num_nodes):
+            g.add_node(i, atom=int(self.x[i, 0]))
+        for (u, v), attr in zip(self.edge_index.T, self.edge_attr):
+            if u < v:
+                g.add_edge(int(u), int(v), bond=int(attr[0]))
+        return g
+
+    def copy(self) -> "Graph":
+        return Graph(
+            x=self.x.copy(),
+            edge_index=self.edge_index.copy(),
+            edge_attr=self.edge_attr.copy(),
+            y=None if self.y is None else self.y.copy(),
+            meta=dict(self.meta),
+        )
+
+
+class Batch:
+    """Disjoint union of graphs with per-node graph assignment."""
+
+    def __init__(self, graphs: list[Graph]):
+        if not graphs:
+            raise ValueError("cannot batch zero graphs")
+        self.graphs = list(graphs)
+        self.num_graphs = len(graphs)
+
+        node_offsets = np.cumsum([0] + [g.num_nodes for g in graphs])
+        self.node_offsets = node_offsets
+        self.x = np.concatenate([g.x for g in graphs], axis=0)
+        self.edge_index = np.concatenate(
+            [g.edge_index + off for g, off in zip(graphs, node_offsets[:-1])], axis=1
+        ) if any(g.num_edges for g in graphs) else np.zeros((2, 0), dtype=np.int64)
+        self.edge_attr = np.concatenate([g.edge_attr for g in graphs], axis=0) if any(
+            g.num_edges for g in graphs
+        ) else np.zeros((0, graphs[0].edge_attr.shape[1] or 2), dtype=np.int64)
+        self.batch = np.concatenate(
+            [np.full(g.num_nodes, i, dtype=np.int64) for i, g in enumerate(graphs)]
+        )
+        labeled = [g.y for g in graphs if g.y is not None]
+        if len(labeled) == self.num_graphs:
+            self.y = np.stack(labeled, axis=0)
+        else:
+            self.y = None
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    def label_mask(self) -> np.ndarray:
+        """Boolean mask of present (non-nan) labels, shape (num_graphs, tasks)."""
+        if self.y is None:
+            raise ValueError("batch has no labels")
+        return ~np.isnan(self.y)
+
+    def labels_filled(self, fill: float = 0.0) -> np.ndarray:
+        """Labels with nans replaced by ``fill`` (pairs with :meth:`label_mask`)."""
+        if self.y is None:
+            raise ValueError("batch has no labels")
+        return np.where(np.isnan(self.y), fill, self.y)

@@ -1,0 +1,57 @@
+"""Mini-batch loader: shuffles graphs and yields disjoint-union Batches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Batch, Graph
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate over graphs in batches.
+
+    Parameters
+    ----------
+    graphs:
+        The dataset (a list of :class:`Graph`).
+    batch_size:
+        Paper default is 32 (Sec. IV-A4).
+    shuffle:
+        Reshuffle order each epoch using the provided RNG.
+    drop_last:
+        Drop a trailing incomplete batch (useful for BatchNorm stability).
+    """
+
+    def __init__(
+        self,
+        graphs: list[Graph],
+        batch_size: int = 32,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.graphs = list(graphs)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng(0)
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.graphs)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        order = np.arange(len(self.graphs))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start:start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                return
+            yield Batch([self.graphs[i] for i in chunk])

@@ -1,0 +1,123 @@
+"""Graph augmentations for contrastive pre-training (GraphCL, Sec. IV-B).
+
+You et al. (2020) define four augmentation families; all are implemented
+here as pure functions ``(graph, rng) -> graph`` over our struct-of-arrays
+representation, each preserving graph validity (non-empty node set, in-range
+edge indices).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+from .molecule import MASK_ATOM_ID
+
+__all__ = ["node_drop", "edge_perturb", "attribute_mask", "subgraph_sample", "random_augment"]
+
+
+def node_drop(graph: Graph, rng: np.random.Generator, ratio: float = 0.2) -> Graph:
+    """Remove a random subset of nodes (and incident edges)."""
+    n = graph.num_nodes
+    keep_count = max(1, int(round(n * (1.0 - ratio))))
+    keep = np.sort(rng.choice(n, size=keep_count, replace=False))
+    return _induced_subgraph(graph, keep)
+
+
+def edge_perturb(graph: Graph, rng: np.random.Generator, ratio: float = 0.2) -> Graph:
+    """Drop a fraction of bonds and add the same number of random bonds."""
+    pairs = _undirected_pairs(graph)
+    num_bonds = len(pairs)
+    if num_bonds == 0:
+        return graph.copy()
+    drop = max(0, int(round(num_bonds * ratio)))
+    keep_idx = np.sort(rng.choice(num_bonds, size=num_bonds - drop, replace=False))
+    kept = [pairs[i] for i in keep_idx]
+
+    existing = {(u, v) for (u, v, _, _) in kept}
+    n = graph.num_nodes
+    added = 0
+    guard = 0
+    while added < drop and guard < 50 * max(drop, 1) and n >= 2:
+        guard += 1
+        u, v = rng.integers(0, n, size=2)
+        u, v = int(min(u, v)), int(max(u, v))
+        if u == v or (u, v) in existing:
+            continue
+        kept.append((u, v, 0, int(rng.integers(0, 3))))
+        existing.add((u, v))
+        added += 1
+    return _from_pairs(graph, kept)
+
+
+def attribute_mask(graph: Graph, rng: np.random.Generator, ratio: float = 0.2) -> Graph:
+    """Replace a fraction of atom types with the mask token."""
+    out = graph.copy()
+    n = out.num_nodes
+    count = max(1, int(round(n * ratio)))
+    idx = rng.choice(n, size=min(count, n), replace=False)
+    out.x[idx, 0] = MASK_ATOM_ID
+    return out
+
+
+def subgraph_sample(graph: Graph, rng: np.random.Generator, ratio: float = 0.8) -> Graph:
+    """Random-walk induced subgraph containing ~``ratio`` of the nodes."""
+    n = graph.num_nodes
+    target = max(1, int(round(n * ratio)))
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in graph.edge_index.T:
+        adj[u].append(int(v))
+    visited = {int(rng.integers(0, n))}
+    frontier = list(visited)
+    while len(visited) < target and frontier:
+        node = frontier[rng.integers(0, len(frontier))]
+        neighbors = [m for m in adj[node] if m not in visited]
+        if not neighbors:
+            frontier = [f for f in frontier if any(m not in visited for m in adj[f])]
+            if not frontier:
+                break
+            continue
+        nxt = neighbors[rng.integers(0, len(neighbors))]
+        visited.add(nxt)
+        frontier.append(nxt)
+    return _induced_subgraph(graph, np.sort(np.array(sorted(visited))))
+
+
+_AUGMENTATIONS = [node_drop, edge_perturb, attribute_mask, subgraph_sample]
+
+
+def random_augment(graph: Graph, rng: np.random.Generator) -> Graph:
+    """Apply one uniformly chosen GraphCL augmentation."""
+    fn = _AUGMENTATIONS[int(rng.integers(0, len(_AUGMENTATIONS)))]
+    return fn(graph, rng)
+
+
+# ----------------------------------------------------------------------
+def _undirected_pairs(graph: Graph) -> list[tuple[int, int, int, int]]:
+    out = []
+    for (u, v), attr in zip(graph.edge_index.T, graph.edge_attr):
+        if u < v:
+            out.append((int(u), int(v), int(attr[0]), int(attr[1])))
+    return out
+
+
+def _from_pairs(graph: Graph, pairs) -> Graph:
+    src, dst, attrs = [], [], []
+    for (u, v, b, tag) in pairs:
+        src += [u, v]
+        dst += [v, u]
+        attrs += [[b, tag], [b, tag]]
+    edge_index = np.array([src, dst], dtype=np.int64) if src else np.zeros((2, 0), np.int64)
+    edge_attr = np.array(attrs, dtype=np.int64) if attrs else np.zeros((0, 2), np.int64)
+    return Graph(x=graph.x.copy(), edge_index=edge_index, edge_attr=edge_attr,
+                 y=None if graph.y is None else graph.y.copy(), meta=dict(graph.meta))
+
+
+def _induced_subgraph(graph: Graph, keep: np.ndarray) -> Graph:
+    remap = -np.ones(graph.num_nodes, dtype=np.int64)
+    remap[keep] = np.arange(len(keep))
+    mask = (remap[graph.edge_index[0]] >= 0) & (remap[graph.edge_index[1]] >= 0)
+    edge_index = remap[graph.edge_index[:, mask]]
+    edge_attr = graph.edge_attr[mask]
+    return Graph(x=graph.x[keep].copy(), edge_index=edge_index, edge_attr=edge_attr.copy(),
+                 y=None if graph.y is None else graph.y.copy(), meta=dict(graph.meta))

@@ -1,0 +1,72 @@
+"""``repro.nn`` — numpy autograd + neural-net substrate (PyTorch stand-in)."""
+
+from . import functional, init
+from .layers import (
+    BatchNorm1d,
+    Bottleneck,
+    Dropout,
+    Embedding,
+    Identity,
+    Linear,
+    MLP,
+    StochNorm1d,
+)
+from .module import Module, ModuleDict, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .rnn import LSTM, LSTMCell
+from .schedulers import CosineAnnealingLR, LRScheduler, StepLR, WarmupLR
+from .serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    gather,
+    no_grad,
+    segment_max,
+    segment_mean,
+    segment_sum,
+    stack,
+    where,
+)
+
+__all__ = [
+    "functional",
+    "init",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "concatenate",
+    "stack",
+    "where",
+    "gather",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "Module",
+    "ModuleDict",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "MLP",
+    "Dropout",
+    "BatchNorm1d",
+    "StochNorm1d",
+    "Bottleneck",
+    "Identity",
+    "LSTM",
+    "LSTMCell",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+    "clip_grad_norm",
+    "save_state_dict",
+    "load_state_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+]

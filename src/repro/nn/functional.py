@@ -1,0 +1,181 @@
+"""Functional neural-network operations built on the autograd engine.
+
+Includes the Gumbel-softmax relaxation (paper Eq. 17) that makes the
+discrete fine-tuning-strategy sampling differentiable with respect to the
+controller parameters ``alpha``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, concatenate, gather, segment_max, segment_mean, segment_sum, stack, where
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "mse_loss",
+    "l2_norm_squared",
+    "gumbel_softmax",
+    "softmax_np",
+    "one_hot",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    return as_tensor(x).leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales by ``1/(1-p)`` at train time, identity at eval."""
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return as_tensor(x) * Tensor(mask)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> Tensor:
+    """Mean BCE over (optionally masked) entries.
+
+    The masked variant mirrors MoleculeNet multi-task training, where some
+    (molecule, task) labels are missing and excluded from the loss.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.float64)
+    # log(1 + exp(-|z|)) + max(z, 0) - z*y  (stable composition).
+    zeros = Tensor(np.zeros_like(logits.data))
+    losses = logits.clip(-60.0, 60.0)
+    softplus = (1.0 + (-losses.abs()).exp()).log()
+    per_entry = softplus + losses.relu() - losses * Tensor(targets)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        denom = max(float(mask.sum()), 1.0)
+        return (per_entry * Tensor(mask)).sum() * (1.0 / denom)
+    del zeros
+    return per_entry.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean categorical cross-entropy; ``targets`` are integer class ids."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(logits.shape[0])
+    picked = logp[(rows, targets)]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    diff = as_tensor(pred) - Tensor(np.asarray(targets, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def l2_norm_squared(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    return (x * x).sum()
+
+
+def gumbel_softmax(
+    log_alpha: Tensor,
+    tau: float,
+    rng: np.random.Generator,
+    hard: bool = False,
+) -> Tensor:
+    """Sample a relaxed one-hot strategy vector (paper Eq. 17).
+
+    ``g_alpha(U)[i] = softmax_i((log alpha[i] - log(-log U[i])) / tau)`` with
+    ``U ~ Uniform(0,1)``.  As ``tau -> 0`` the sample approaches a discrete
+    one-hot vector, making the relaxation asymptotically unbiased.
+
+    Parameters
+    ----------
+    log_alpha:
+        Unnormalized log-probabilities, one entry per candidate operator.
+    tau:
+        Softmax temperature controlling discreteness.
+    hard:
+        If True, return a straight-through hard one-hot (forward is discrete,
+        backward uses the relaxed gradient).
+    """
+    if tau <= 0:
+        raise ValueError("temperature tau must be positive")
+    u = rng.uniform(low=1e-9, high=1.0 - 1e-9, size=log_alpha.shape)
+    gumbel_noise = -np.log(-np.log(u))
+    logits = (as_tensor(log_alpha) + Tensor(gumbel_noise)) * (1.0 / tau)
+    soft = softmax(logits, axis=-1)
+    if not hard:
+        return soft
+    hard_vec = np.zeros_like(soft.data)
+    hard_vec[np.argmax(soft.data, axis=-1)] = 1.0
+    # Straight-through estimator: forward = hard, backward = soft gradient.
+    return soft + Tensor(hard_vec - soft.data)
+
+
+def softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Plain-numpy softmax for non-differentiable paths (deriving a strategy)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer indices -> float one-hot matrix."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros((indices.size, num_classes), dtype=np.float64)
+    out[np.arange(indices.size), indices.ravel()] = 1.0
+    return out.reshape(indices.shape + (num_classes,))
+
+
+# Re-export structural ops so users can do ``from repro.nn import functional as F``.
+F_EXPORTS = {
+    "concatenate": concatenate,
+    "stack": stack,
+    "where": where,
+    "gather": gather,
+    "segment_sum": segment_sum,
+    "segment_mean": segment_mean,
+    "segment_max": segment_max,
+}
+globals().update(F_EXPORTS)
+__all__ += list(F_EXPORTS)

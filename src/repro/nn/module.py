@@ -1,0 +1,250 @@
+"""Module system: parameter containers with named traversal and state dicts.
+
+Mirrors the small subset of ``torch.nn.Module`` the reproduction needs:
+registration by attribute assignment, recursive parameter iteration,
+train/eval mode, freezing (for Feature-Extractor / Last-k strategies), and
+state-dict save/load (for the pre-trained model zoo).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList", "ModuleDict"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable leaf of a module tree."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters must survive no_grad construction contexts.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for all neural modules."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BatchNorm running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (prefix + name, param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def modules(self) -> list["Module"]:
+        return [m for _, m in self.named_modules()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (prefix + name, buf)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total scalar parameter count (used by adapter-efficiency checks)."""
+        return sum(
+            p.size for p in self.parameters() if (p.requires_grad or not trainable_only)
+        )
+
+    # ------------------------------------------------------------------
+    # modes
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Disable gradients for every parameter in this subtree."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        state = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state["buffer:" + name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        params = dict(self.named_parameters())
+        buffers = {name: owner for owner, name in self._iter_buffer_owners()}
+        missing = []
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                name = key[len("buffer:"):]
+                owner = buffers.get(name)
+                if owner is None:
+                    if strict:
+                        missing.append(key)
+                    continue
+                leaf = name.rsplit(".", 1)[-1]
+                owner.set_buffer(leaf, value)
+            elif key in params:
+                if params[key].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: "
+                        f"{params[key].data.shape} vs {value.shape}"
+                    )
+                params[key].data = np.asarray(value, dtype=np.float64).copy()
+            elif strict:
+                missing.append(key)
+        if strict:
+            absent = [k for k in params if k not in state]
+            if missing or absent:
+                raise KeyError(f"unexpected keys {missing}, missing keys {absent}")
+
+    def _iter_buffer_owners(self):
+        for prefix, module in self.named_modules():
+            for name in module._buffers:
+                full = f"{prefix}.{name}" if prefix else name
+                yield module, full
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules; each must be unary."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._items = []
+        for i, module in enumerate(modules):
+            setattr(self, f"m{i}", module)
+            self._items.append(module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def forward(self, x):
+        for module in self._items:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """An indexable container of submodules."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, f"m{len(self._items)}", module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+
+class ModuleDict(Module):
+    """A string-keyed container of submodules (candidate-operator banks)."""
+
+    def __init__(self, modules: dict | None = None):
+        super().__init__()
+        self._keys = []
+        for key, module in (modules or {}).items():
+            self[key] = module
+
+    def __setitem__(self, key: str, module: Module):
+        setattr(self, key, module)
+        if key not in self._keys:
+            self._keys.append(key)
+
+    def __getitem__(self, key: str) -> Module:
+        return self._modules[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._modules
+
+    def keys(self):
+        return list(self._keys)
+
+    def items(self):
+        return [(k, self._modules[k]) for k in self._keys]
+
+    def values(self):
+        return [self._modules[k] for k in self._keys]

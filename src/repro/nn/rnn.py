@@ -1,0 +1,97 @@
+"""Recurrent cells used by the ``lstm`` fusion candidate and Set2Set readout.
+
+The paper's multi-scale fusion candidate ``lstm`` follows Jumping Knowledge
+(Xu et al., 2018): per node, an LSTM consumes the sequence of K layer-wise
+representations and produces attention scores over layers.  Set2Set
+(Vinyals et al., 2015) runs an LSTM over processing steps with content-based
+attention over nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concatenate
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM step: ``(x, h, c) -> (h', c')``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Gates packed as [i, f, g, o] along the output dimension.
+        self.w_x = Parameter(init.xavier_uniform((input_dim, 4 * hidden_dim), rng))
+        self.w_h = Parameter(init.xavier_uniform((hidden_dim, 4 * hidden_dim), rng))
+        self.bias = Parameter(init.zeros((4 * hidden_dim,)))
+        # Positive forget-gate bias helps gradient flow at initialization.
+        self.bias.data[hidden_dim:2 * hidden_dim] = 1.0
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        gates = x @ self.w_x + h @ self.w_h + self.bias
+        hd = self.hidden_dim
+        i = gates[:, 0 * hd:1 * hd].sigmoid()
+        f = gates[:, 1 * hd:2 * hd].sigmoid()
+        g = gates[:, 2 * hd:3 * hd].tanh()
+        o = gates[:, 3 * hd:4 * hd].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_dim))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unrolled (optionally bidirectional) LSTM over a short sequence.
+
+    Input is a list of ``(batch, input_dim)`` tensors — one per timestep —
+    which matches how layer-wise GNN representations arrive in fusion.
+    Returns per-step hidden states concatenated over directions.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        bidirectional: bool = False,
+    ):
+        super().__init__()
+        self.bidirectional = bidirectional
+        self.hidden_dim = hidden_dim
+        self.fwd = LSTMCell(input_dim, hidden_dim, rng)
+        if bidirectional:
+            self.bwd = LSTMCell(input_dim, hidden_dim, rng)
+
+    @property
+    def output_dim(self) -> int:
+        return self.hidden_dim * (2 if self.bidirectional else 1)
+
+    def forward(self, steps: list[Tensor]) -> list[Tensor]:
+        if not steps:
+            raise ValueError("LSTM needs at least one timestep")
+        batch = steps[0].shape[0]
+        h, c = self.fwd.initial_state(batch)
+        forward_states = []
+        for x in steps:
+            h, c = self.fwd(x, h, c)
+            forward_states.append(h)
+        if not self.bidirectional:
+            return forward_states
+        h, c = self.bwd.initial_state(batch)
+        backward_states = []
+        for x in reversed(steps):
+            h, c = self.bwd(x, h, c)
+            backward_states.append(h)
+        backward_states.reverse()
+        return [
+            concatenate([f, b], axis=-1)
+            for f, b in zip(forward_states, backward_states)
+        ]

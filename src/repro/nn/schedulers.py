@@ -1,0 +1,84 @@
+"""Learning-rate schedulers for the optimizers in :mod:`repro.nn.optim`.
+
+The paper fine-tunes at a fixed 1e-3, but longer search schedules benefit
+from decay; these schedulers are used by the extended search configurations
+and exposed for downstream users.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR"]
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + (self.base_lr - self.eta_min) * 0.5 * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup to the base LR, then delegate to an inner scheduler."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 after: LRScheduler | None = None):
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def get_lr(self) -> float:
+        if self.epoch <= self.warmup_epochs:
+            return self.base_lr * self.epoch / self.warmup_epochs
+        if self.after is not None:
+            self.after.epoch = self.epoch - self.warmup_epochs
+            return self.after.get_lr()
+        return self.base_lr

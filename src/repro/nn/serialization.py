@@ -1,0 +1,39 @@
+"""Checkpoint I/O for the pre-trained model zoo (npz on disk)."""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict", "save_checkpoint", "load_checkpoint"]
+
+
+def save_state_dict(state: dict, path: str) -> None:
+    """Serialize a module ``state_dict`` to an ``.npz`` file."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state_dict(path: str) -> "OrderedDict[str, np.ndarray]":
+    with np.load(path) as payload:
+        return OrderedDict((k, payload[k]) for k in payload.files)
+
+
+def save_checkpoint(state: dict, metadata: dict, path: str) -> None:
+    """Save weights plus a JSON metadata sidecar (method, backbone, config)."""
+    save_state_dict(state, path)
+    with open(path + ".json", "w", encoding="utf-8") as handle:
+        json.dump(metadata, handle, indent=2, sort_keys=True)
+
+
+def load_checkpoint(path: str) -> tuple["OrderedDict[str, np.ndarray]", dict]:
+    state = load_state_dict(path)
+    meta_path = path + ".json"
+    metadata = {}
+    if os.path.exists(meta_path):
+        with open(meta_path, encoding="utf-8") as handle:
+            metadata = json.load(handle)
+    return state, metadata

@@ -1,0 +1,37 @@
+"""``repro.pretrain`` — the 10 SSL pre-training methods of paper Tab. V."""
+
+from .attrmasking import AttrMaskingTask, mask_batch_atoms
+from .base import PretrainTask, mean_pool_graphs, normalize_rows, nt_xent_loss, pretrain
+from .contextpred import ContextPredTask
+from .edgepred import EdgePredTask
+from .graphcl import GraphCLTask
+from .graphlog import GraphLoGTask
+from .graphmae import GraphMAETask
+from .infomax import InfomaxTask
+from .mgssl import MGSSLTask
+from .molebert import MoleBERTTask
+from .simgrace import SimGRACETask
+from .zoo import PRETRAIN_CATEGORIES, PRETRAIN_METHODS, default_zoo_dir, get_pretrained
+
+__all__ = [
+    "PretrainTask",
+    "pretrain",
+    "nt_xent_loss",
+    "normalize_rows",
+    "mean_pool_graphs",
+    "mask_batch_atoms",
+    "InfomaxTask",
+    "EdgePredTask",
+    "ContextPredTask",
+    "AttrMaskingTask",
+    "GraphCLTask",
+    "GraphLoGTask",
+    "MGSSLTask",
+    "SimGRACETask",
+    "GraphMAETask",
+    "MoleBERTTask",
+    "PRETRAIN_METHODS",
+    "PRETRAIN_CATEGORIES",
+    "get_pretrained",
+    "default_zoo_dir",
+]

@@ -1,0 +1,116 @@
+"""Pre-training task protocol and the SSL trainer loop (paper Eq. 6).
+
+A :class:`PretrainTask` owns a :class:`~repro.gnn.encoder.GNNEncoder` plus
+any auxiliary heads its SSL objective needs, and exposes
+``loss(graphs, rng) -> Tensor``.  :func:`pretrain` optimizes the task over
+an unlabeled corpus and returns the encoder (auxiliary heads are dropped at
+transfer time, as in all the cited pre-training papers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..graph.graph import Batch, Graph
+from ..nn import Adam, Module, Tensor, clip_grad_norm
+from ..nn.functional import l2_norm_squared
+
+__all__ = ["PretrainTask", "pretrain", "nt_xent_loss", "normalize_rows", "mean_pool_graphs"]
+
+
+class PretrainTask(Module):
+    """Base class for SSL pre-training objectives.
+
+    Subclasses set ``name`` and ``category`` (the SSL-strategy label used in
+    paper Tab. V: AE / AM / MCM / CP / CL) and implement :meth:`loss`.
+    """
+
+    name: str = "base"
+    category: str = "?"
+
+    def __init__(self, encoder: GNNEncoder):
+        super().__init__()
+        self.encoder = encoder
+
+    def loss(self, graphs: list[Graph], rng: np.random.Generator) -> Tensor:
+        raise NotImplementedError
+
+    def encode_graphs(self, graphs: list[Graph]) -> tuple[Tensor, Batch]:
+        """Convenience: final-layer node representations of a fresh batch."""
+        batch = Batch(graphs)
+        return self.encoder(batch)[-1], batch
+
+
+def pretrain(
+    task: PretrainTask,
+    corpus: list[Graph],
+    epochs: int = 5,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    seed: int = 0,
+    grad_clip: float = 5.0,
+    verbose: bool = False,
+) -> list[float]:
+    """Optimize an SSL task over an unlabeled corpus; returns epoch losses."""
+    rng = np.random.default_rng((seed, 77))
+    optimizer = Adam(task.parameters(), lr=lr)
+    history: list[float] = []
+    order = np.arange(len(corpus))
+    task.train()
+    for epoch in range(epochs):
+        rng.shuffle(order)
+        total, batches = 0.0, 0
+        for start in range(0, len(order), batch_size):
+            graphs = [corpus[i] for i in order[start:start + batch_size]]
+            if len(graphs) < 2:
+                continue  # contrastive objectives need >= 2 graphs
+            loss = task.loss(graphs, rng)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(task.parameters(), grad_clip)
+            optimizer.step()
+            total += loss.item()
+            batches += 1
+        epoch_loss = total / max(batches, 1)
+        history.append(epoch_loss)
+        if verbose:
+            print(f"[{task.name}] epoch {epoch + 1}/{epochs} loss={epoch_loss:.4f}")
+    return history
+
+
+# ----------------------------------------------------------------------
+# shared SSL building blocks
+# ----------------------------------------------------------------------
+def normalize_rows(z: Tensor, eps: float = 1e-9) -> Tensor:
+    """L2-normalize each row (for cosine-similarity contrastive losses)."""
+    norm = ((z * z).sum(axis=-1, keepdims=True) + eps).sqrt()
+    return z / norm
+
+
+def nt_xent_loss(z1: Tensor, z2: Tensor, temperature: float = 0.5) -> Tensor:
+    """Normalized-temperature cross entropy (SimCLR / GraphCL objective).
+
+    Positives are aligned rows of ``z1`` / ``z2``; all other rows in the
+    2B-sample batch act as negatives.  Symmetrized over the two views.
+    """
+    from ..nn import concatenate
+    from ..nn.functional import log_softmax
+
+    b = z1.shape[0]
+    z = normalize_rows(concatenate([z1, z2], axis=0))  # (2B, d)
+    sim = (z @ z.T) * (1.0 / temperature)
+    # Mask self-similarity with a large negative constant.
+    mask = np.eye(2 * b) * -1e9
+    sim = sim + Tensor(mask)
+    logp = log_softmax(sim, axis=-1)
+    targets = np.concatenate([np.arange(b, 2 * b), np.arange(0, b)])
+    picked = logp[(np.arange(2 * b), targets)]
+    return -picked.mean()
+
+
+def mean_pool_graphs(node_repr: Tensor, batch: Batch) -> Tensor:
+    """Mean-pool node representations per graph."""
+    from ..nn import segment_mean
+
+    return segment_mean(node_repr, batch.batch, batch.num_graphs)

@@ -1,0 +1,54 @@
+"""Edge-prediction pre-training (Hamilton et al., 2017; paper Tab. V "AE").
+
+Autoencoding of graph structure: predict whether a node pair is connected
+from the dot product of its node representations, with uniform negative
+sampling of non-edges (one negative per positive edge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..graph.graph import Batch, Graph
+from ..nn import Tensor, gather
+from ..nn.functional import binary_cross_entropy_with_logits
+from .base import PretrainTask
+
+__all__ = ["EdgePredTask"]
+
+
+class EdgePredTask(PretrainTask):
+    """Link reconstruction with negative sampling."""
+
+    name = "edgepred"
+    category = "AE"
+
+    def __init__(self, encoder: GNNEncoder, seed: int = 0):
+        super().__init__(encoder)
+
+    def loss(self, graphs: list[Graph], rng: np.random.Generator) -> Tensor:
+        batch = Batch(graphs)
+        node_repr = self.encoder(batch)[-1]
+
+        # Positives: one direction of each stored bond.
+        fwd = batch.edge_index[:, batch.edge_index[0] < batch.edge_index[1]]
+        if fwd.shape[1] == 0:
+            fwd = batch.edge_index
+        pos_src, pos_dst = fwd[0], fwd[1]
+
+        # Negatives: random pairs *within the same graph* (so the task cannot
+        # be solved by recognizing cross-graph pairs), rejection-free: we
+        # accept a tiny false-negative rate as the original does.
+        neg_src = pos_src.copy()
+        offsets = batch.node_offsets
+        graph_of = batch.batch[pos_src]
+        sizes = np.diff(offsets)
+        neg_dst = offsets[graph_of] + rng.integers(0, sizes[graph_of])
+
+        src = np.concatenate([pos_src, neg_src])
+        dst = np.concatenate([pos_dst, neg_dst])
+        labels = np.concatenate([np.ones(len(pos_src)), np.zeros(len(neg_src))])
+
+        logits = (gather(node_repr, src) * gather(node_repr, dst)).sum(axis=-1)
+        return binary_cross_entropy_with_logits(logits, labels)

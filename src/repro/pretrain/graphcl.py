@@ -1,0 +1,44 @@
+"""GraphCL pre-training (You et al., 2020; paper Tab. V "CL").
+
+Same-scale contrastive learning with data augmentation: two stochastic
+augmentations of each graph form a positive pair; graph representations go
+through a projection head and are contrasted with NT-Xent against all other
+graphs in the batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..graph.graph import Batch, Graph
+from ..graph.transforms import random_augment
+from ..nn import MLP, Tensor
+from .base import PretrainTask, mean_pool_graphs, nt_xent_loss
+
+__all__ = ["GraphCLTask"]
+
+
+class GraphCLTask(PretrainTask):
+    """Augmentation-based same-scale graph contrastive learning."""
+
+    name = "graphcl"
+    category = "CL"
+
+    def __init__(self, encoder: GNNEncoder, seed: int = 0, temperature: float = 0.5):
+        super().__init__(encoder)
+        rng = np.random.default_rng((seed, 31))
+        d = encoder.emb_dim
+        self.temperature = temperature
+        self.projection = MLP([d, d, d], rng)
+
+    def _view(self, graphs: list[Graph], rng: np.random.Generator) -> Tensor:
+        augmented = [random_augment(g, rng) for g in graphs]
+        batch = Batch(augmented)
+        node_repr = self.encoder(batch)[-1]
+        return self.projection(mean_pool_graphs(node_repr, batch))
+
+    def loss(self, graphs: list[Graph], rng: np.random.Generator) -> Tensor:
+        z1 = self._view(graphs, rng)
+        z2 = self._view(graphs, rng)
+        return nt_xent_loss(z1, z2, self.temperature)

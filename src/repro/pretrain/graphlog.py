@@ -1,0 +1,64 @@
+"""GraphLoG pre-training (Xu et al., 2021; paper Tab. V "CL").
+
+Local-and-global structure learning: an instance-level contrastive term
+(correlated views, as GraphCL) plus a *global semantic* term that clusters
+graph representations around learnable hierarchical prototypes.
+
+Substitution note: the original learns prototypes with an online EM
+procedure; we use the standard self-labeling approximation — assign each
+graph to its nearest prototype (detached argmax) and minimize cross-entropy
+of the softmax similarity against that assignment, which pulls
+representations toward prototype centroids the same way the M-step does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..graph.graph import Graph
+from ..nn import MLP, Parameter, Tensor, init
+from ..nn.functional import log_softmax
+from .base import PretrainTask, mean_pool_graphs, normalize_rows, nt_xent_loss
+
+__all__ = ["GraphLoGTask"]
+
+
+class GraphLoGTask(PretrainTask):
+    """Instance contrast + prototype (global semantic) clustering."""
+
+    name = "graphlog"
+    category = "CL"
+
+    def __init__(self, encoder: GNNEncoder, seed: int = 0, num_prototypes: int = 8,
+                 temperature: float = 0.5, proto_weight: float = 0.5):
+        super().__init__(encoder)
+        rng = np.random.default_rng((seed, 41))
+        d = encoder.emb_dim
+        self.temperature = temperature
+        self.proto_weight = proto_weight
+        self.projection = MLP([d, d, d], rng)
+        self.prototypes = Parameter(init.xavier_uniform((num_prototypes, d), rng))
+
+    def _embed(self, graphs: list[Graph], rng: np.random.Generator) -> Tensor:
+        from ..graph.transforms import random_augment
+        from ..graph.graph import Batch
+
+        augmented = [random_augment(g, rng) for g in graphs]
+        batch = Batch(augmented)
+        node_repr = self.encoder(batch)[-1]
+        return self.projection(mean_pool_graphs(node_repr, batch))
+
+    def loss(self, graphs: list[Graph], rng: np.random.Generator) -> Tensor:
+        z1 = self._embed(graphs, rng)
+        z2 = self._embed(graphs, rng)
+        instance = nt_xent_loss(z1, z2, self.temperature)
+
+        # Global term: self-labeled prototype assignment.
+        z = normalize_rows(z1)
+        protos = normalize_rows(self.prototypes)
+        sim = (z @ protos.T) * (1.0 / self.temperature)
+        assignment = np.argmax(sim.data, axis=-1)
+        logp = log_softmax(sim, axis=-1)
+        proto_loss = -logp[(np.arange(z.shape[0]), assignment)].mean()
+        return instance + proto_loss * self.proto_weight

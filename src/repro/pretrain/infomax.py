@@ -1,0 +1,49 @@
+"""Deep Graph Infomax pre-training (Velickovic et al., 2019; paper Tab. V).
+
+Cross-scale contrastive learning: maximize mutual information between node
+(local) representations and a graph (global) summary through a bilinear
+discriminator.  Negatives come from *corrupted* graphs obtained by shuffling
+node features across the batch, as in the original DGI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..graph.graph import Batch, Graph
+from ..nn import Parameter, Tensor, gather, init
+from ..nn.functional import binary_cross_entropy_with_logits
+from .base import PretrainTask, mean_pool_graphs
+
+__all__ = ["InfomaxTask"]
+
+
+class InfomaxTask(PretrainTask):
+    """DGI-style local-global contrastive pre-training."""
+
+    name = "infomax"
+    category = "CL"
+
+    def __init__(self, encoder: GNNEncoder, seed: int = 0):
+        super().__init__(encoder)
+        rng = np.random.default_rng((seed, 11))
+        d = encoder.emb_dim
+        self.discriminator = Parameter(init.xavier_uniform((d, d), rng))
+
+    def loss(self, graphs: list[Graph], rng: np.random.Generator) -> Tensor:
+        batch = Batch(graphs)
+        node_repr = self.encoder(batch)[-1]
+        summary = mean_pool_graphs(node_repr, batch).sigmoid()  # (B, d)
+
+        # Corruption: permute node rows, breaking node-graph correspondence.
+        perm = rng.permutation(batch.num_nodes)
+        corrupted = gather(node_repr, perm)
+
+        node_summary = gather(summary, batch.batch)  # (N, d)
+        pos_logits = (node_repr @ self.discriminator * node_summary).sum(axis=-1)
+        neg_logits = (corrupted @ self.discriminator * node_summary).sum(axis=-1)
+
+        pos_loss = binary_cross_entropy_with_logits(pos_logits, np.ones(batch.num_nodes))
+        neg_loss = binary_cross_entropy_with_logits(neg_logits, np.zeros(batch.num_nodes))
+        return pos_loss + neg_loss

@@ -1,0 +1,59 @@
+"""SimGRACE pre-training (Xia et al., 2022; paper Tab. V "CL").
+
+Contrastive learning *without data augmentation*: the second view comes from
+a weight-perturbed copy of the encoder.  Each parameter is perturbed with
+Gaussian noise scaled by its own standard deviation (the original's
+"perturbation magnitude" eta), and the two views of the same batch are
+contrasted with NT-Xent.  Gradients flow through the clean branch; the
+perturbed branch acts as a stochastic target network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn.encoder import GNNEncoder
+from ..graph.graph import Batch, Graph
+from ..nn import MLP, Tensor, no_grad
+from .base import PretrainTask, mean_pool_graphs, nt_xent_loss
+
+__all__ = ["SimGRACETask"]
+
+
+class SimGRACETask(PretrainTask):
+    """Weight-perturbation contrastive pre-training."""
+
+    name = "simgrace"
+    category = "CL"
+
+    def __init__(self, encoder: GNNEncoder, seed: int = 0, eta: float = 0.1,
+                 temperature: float = 0.5):
+        super().__init__(encoder)
+        rng = np.random.default_rng((seed, 61))
+        d = encoder.emb_dim
+        self.eta = eta
+        self.temperature = temperature
+        self.projection = MLP([d, d, d], rng)
+
+    def _perturbed_view(self, batch: Batch, rng: np.random.Generator) -> Tensor:
+        """Encode with temporarily noise-perturbed encoder weights."""
+        params = self.encoder.parameters()
+        saved = [p.data.copy() for p in params]
+        try:
+            for p in params:
+                std = float(p.data.std())
+                if std > 0:
+                    p.data = p.data + rng.normal(0.0, self.eta * std, size=p.data.shape)
+            with no_grad():
+                node_repr = self.encoder(batch)[-1]
+                return self.projection(mean_pool_graphs(node_repr, batch)).detach()
+        finally:
+            for p, orig in zip(params, saved):
+                p.data = orig
+
+    def loss(self, graphs: list[Graph], rng: np.random.Generator) -> Tensor:
+        batch = Batch(graphs)
+        node_repr = self.encoder(batch)[-1]
+        z1 = self.projection(mean_pool_graphs(node_repr, batch))
+        z2 = self._perturbed_view(batch, rng)
+        return nt_xent_loss(z1, z2, self.temperature)

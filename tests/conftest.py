@@ -1,0 +1,62 @@
+"""Shared fixtures: tiny deterministic datasets, encoders, and RNGs."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GNNEncoder
+from repro.graph import Batch, MoleculeGenerator, load_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def molecules():
+    """A reusable pool of 30 small molecules."""
+    return MoleculeGenerator(num_scaffolds=8, seed=3).generate_many(30)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small labeled classification dataset (bbbp shape)."""
+    return load_dataset("bbbp", size=60)
+
+
+@pytest.fixture(scope="session")
+def tiny_regression_dataset():
+    return load_dataset("esol", size=60)
+
+
+@pytest.fixture
+def batch(molecules):
+    return Batch(molecules[:6])
+
+
+@pytest.fixture
+def encoder():
+    return GNNEncoder(conv_type="gin", num_layers=3, emb_dim=16, dropout=0.0, seed=0)
+
+
+def gradcheck(fn, x_data, eps=1e-6, tol=1e-5):
+    """Finite-difference gradient check for a scalar-valued tensor function."""
+    from repro.nn import Tensor
+
+    x_data = np.asarray(x_data, dtype=np.float64)
+    x = Tensor(x_data, requires_grad=True)
+    fn(x).backward()
+    analytic = x.grad.copy()
+    numeric = np.zeros_like(x_data)
+    flat = x_data.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_hi = float(fn(Tensor(x_data)).data.sum())
+        flat[i] = orig - eps
+        f_lo = float(fn(Tensor(x_data)).data.sum())
+        flat[i] = orig
+        numeric.ravel()[i] = (f_hi - f_lo) / (2 * eps)
+    err = np.abs(analytic - numeric).max()
+    assert err < tol, f"gradcheck failed: max abs err {err:.3e}"
+    return err

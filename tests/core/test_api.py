@@ -1,0 +1,79 @@
+"""Tests for the high-level S2PGNNFineTuner API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_SPACE,
+    FineTuneStrategySpec,
+    S2PGNNFineTuner,
+    SearchConfig,
+)
+from repro.core.api import FineTuneConfig
+from repro.finetune import GTOTFineTune
+from repro.gnn import GNNEncoder
+
+
+def factory():
+    return GNNEncoder("gin", num_layers=2, emb_dim=12, dropout=0.0, seed=0)
+
+
+def make_tuner(**kwargs):
+    defaults = dict(
+        search_config=SearchConfig(epochs=2, batch_size=16, seed=0),
+        finetune_config=FineTuneConfig(epochs=2, patience=2),
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return S2PGNNFineTuner(factory, **defaults)
+
+
+class TestFit:
+    def test_fit_populates_attributes(self, tiny_dataset):
+        tuner = make_tuner()
+        result = tuner.fit(tiny_dataset)
+        assert tuner.best_spec_ is not None
+        assert tuner.search_result_ is not None
+        assert tuner.model_ is not None
+        assert np.isfinite(result.test_score)
+        assert result.strategy == "s2pgnn"
+
+    def test_fit_with_explicit_spec_skips_search(self, tiny_dataset):
+        spec = FineTuneStrategySpec(identity=("zero_aug", "identity_aug"),
+                                    fusion="mean", readout="sum")
+        tuner = make_tuner()
+        tuner.fit(tiny_dataset, spec=spec)
+        assert tuner.best_spec_ == spec
+        assert tuner.search_result_ is None
+
+    def test_predict_shapes(self, tiny_dataset):
+        tuner = make_tuner()
+        tuner.fit(tiny_dataset)
+        preds = tuner.predict(tiny_dataset.graphs[:10])
+        assert preds.shape == (10, tiny_dataset.num_tasks)
+
+    def test_predict_before_fit_raises(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            make_tuner().predict(tiny_dataset.graphs[:2])
+
+    def test_search_only_entry_point(self, tiny_dataset):
+        tuner = make_tuner()
+        spec = tuner.search(tiny_dataset)
+        assert spec == tuner.best_spec_
+        assert tuner.model_ is None  # no fine-tuning happened
+
+    def test_combinable_with_regularized_strategy(self, tiny_dataset):
+        """Paper Sec. IV-C1: regularizers like GTOT are orthogonal to S2PGNN."""
+        tuner = make_tuner(strategy=GTOTFineTune(weight=0.01))
+        result = tuner.fit(tiny_dataset)
+        assert np.isfinite(result.test_score)
+
+    def test_degraded_space_respected(self, tiny_dataset):
+        tuner = make_tuner(space=DEFAULT_SPACE.without_readout())
+        tuner.fit(tiny_dataset)
+        assert tuner.best_spec_.readout == "mean"
+
+    def test_deterministic_fit(self, tiny_dataset):
+        a = make_tuner().fit(tiny_dataset).test_score
+        b = make_tuner().fit(tiny_dataset).test_score
+        assert a == pytest.approx(b)

@@ -1,0 +1,115 @@
+"""Tests for the bi-level search algorithm (paper Eq. 15-16)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_SPACE,
+    S2PGNNSearcher,
+    SearchConfig,
+    random_search,
+)
+from repro.gnn import GNNEncoder
+
+
+def make_encoder(seed=0):
+    return GNNEncoder("gin", num_layers=2, emb_dim=12, dropout=0.0, seed=seed)
+
+
+class TestSearchConfig:
+    def test_temperature_anneals_geometrically(self):
+        cfg = SearchConfig(epochs=5, tau_start=1.0, tau_end=0.1)
+        taus = [cfg.temperature(e) for e in range(5)]
+        assert taus[0] == pytest.approx(1.0)
+        assert taus[-1] == pytest.approx(0.1)
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_single_epoch_uses_end_temperature(self):
+        assert SearchConfig(epochs=1).temperature(0) == SearchConfig().tau_end
+
+
+class TestSearcher:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_dataset):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=3, batch_size=16, seed=0),
+        )
+        return searcher.search()
+
+    def test_returns_valid_spec(self, result):
+        spec = result.spec
+        assert len(spec.identity) == 2
+        assert spec.fusion in DEFAULT_SPACE.fusion
+        assert spec.readout in DEFAULT_SPACE.readout
+
+    def test_history_records_every_epoch(self, result):
+        assert len(result.history) == 3
+        for entry in result.history:
+            assert {"epoch", "tau", "train_loss", "alpha_loss", "derived"} <= set(entry)
+
+    def test_train_loss_improves(self, result):
+        # Strategy resampling makes per-epoch losses noisy; require the best
+        # later epoch to beat the first.
+        losses = [h["train_loss"] for h in result.history]
+        assert min(losses[1:]) < losses[0] + 0.05
+
+    def test_search_is_deterministic(self, tiny_dataset):
+        run = lambda: S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=2, batch_size=16, seed=5),
+        ).search().spec
+        assert run() == run()
+
+    def test_seed_changes_trajectory(self, tiny_dataset):
+        histories = []
+        for seed in (0, 1):
+            searcher = S2PGNNSearcher(
+                make_encoder(), tiny_dataset,
+                config=SearchConfig(epochs=2, batch_size=16, seed=seed),
+            )
+            histories.append(searcher.search().history[-1]["train_loss"])
+        assert histories[0] != histories[1]
+
+    def test_degraded_space_restricts_spec(self, tiny_dataset):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            space=DEFAULT_SPACE.without_fusion(),
+            config=SearchConfig(epochs=2, batch_size=16, seed=0),
+        )
+        assert searcher.search().spec.fusion == "last"
+
+    def test_evaluate_spec_scores_without_training(self, tiny_dataset, result):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, batch_size=16, seed=0),
+        )
+        searcher.search()
+        _, valid, _ = tiny_dataset.split()
+        score = searcher.evaluate_spec(result.spec, valid)
+        assert np.isfinite(score)
+
+    def test_regression_dataset_supported(self, tiny_regression_dataset):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_regression_dataset,
+            config=SearchConfig(epochs=2, batch_size=16, seed=0),
+        )
+        spec = searcher.search().spec
+        assert spec.readout in DEFAULT_SPACE.readout
+
+
+class TestRandomSearch:
+    def test_returns_best_of_candidates(self, tiny_dataset):
+        spec, score, results = random_search(
+            make_encoder, tiny_dataset, num_candidates=3, finetune_epochs=2, seed=0,
+        )
+        assert len(results) == 3
+        assert spec is not None
+        assert score == max(s for _, s in results)  # roc_auc: higher better
+
+    def test_random_search_deterministic(self, tiny_dataset):
+        a = random_search(make_encoder, tiny_dataset, num_candidates=2,
+                          finetune_epochs=1, seed=3)[0]
+        b = random_search(make_encoder, tiny_dataset, num_candidates=2,
+                          finetune_epochs=1, seed=3)[0]
+        assert a == b

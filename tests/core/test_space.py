@@ -1,0 +1,82 @@
+"""Tests for the fine-tuning search space (paper Table III, Remark 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_SPACE, FineTuneSpace, FineTuneStrategySpec
+
+
+class TestSpaceSize:
+    def test_paper_remark3_size(self):
+        """5-layer GIN => 3^5 * 7 * 6 = 10,206 candidate strategies."""
+        assert DEFAULT_SPACE.size(5) == 10_206
+
+    def test_size_formula_general(self):
+        assert DEFAULT_SPACE.size(1) == 3 * 7 * 6
+        assert DEFAULT_SPACE.size(2) == 9 * 7 * 6
+
+    def test_candidate_sets_match_paper_table3(self):
+        assert DEFAULT_SPACE.conv == ("pre_trained",)
+        assert DEFAULT_SPACE.identity == ("zero_aug", "identity_aug", "trans_aug")
+        assert DEFAULT_SPACE.fusion == ("last", "concat", "max", "mean", "ppr", "lstm", "gpr")
+        assert DEFAULT_SPACE.readout == ("sum", "mean", "max", "set2set", "sort", "neural")
+
+    def test_enumerate_matches_size(self):
+        space = FineTuneSpace(identity=("zero_aug", "identity_aug"),
+                              fusion=("last", "mean"), readout=("sum",))
+        specs = list(space.enumerate(2))
+        assert len(specs) == space.size(2) == 4 * 2 * 1
+        assert len(set(specs)) == len(specs)  # all distinct
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            FineTuneSpace(fusion=())
+
+
+class TestRandomSpec:
+    def test_spec_within_space(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            spec = DEFAULT_SPACE.random_spec(5, rng)
+            assert len(spec.identity) == 5
+            assert all(i in DEFAULT_SPACE.identity for i in spec.identity)
+            assert spec.fusion in DEFAULT_SPACE.fusion
+            assert spec.readout in DEFAULT_SPACE.readout
+
+    def test_sampling_covers_space(self):
+        rng = np.random.default_rng(1)
+        fusions = {DEFAULT_SPACE.random_spec(2, rng).fusion for _ in range(200)}
+        assert fusions == set(DEFAULT_SPACE.fusion)
+
+
+class TestAblationSpaces:
+    def test_without_identity(self):
+        space = DEFAULT_SPACE.without_identity()
+        assert space.identity == ("zero_aug",)
+        assert space.size(5) == 7 * 6
+
+    def test_without_fusion(self):
+        space = DEFAULT_SPACE.without_fusion()
+        assert space.fusion == ("last",)
+        assert space.size(5) == 3 ** 5 * 6
+
+    def test_without_readout(self):
+        space = DEFAULT_SPACE.without_readout()
+        assert space.readout == ("mean",)
+        assert space.size(5) == 3 ** 5 * 7
+
+    def test_ablations_preserve_other_dimensions(self):
+        assert DEFAULT_SPACE.without_identity().fusion == DEFAULT_SPACE.fusion
+        assert DEFAULT_SPACE.without_fusion().readout == DEFAULT_SPACE.readout
+
+
+class TestSpec:
+    def test_describe_contains_choices(self):
+        spec = FineTuneStrategySpec(identity=("zero_aug",), fusion="lstm", readout="sum")
+        text = spec.describe()
+        assert "lstm" in text and "sum" in text and "zero_aug" in text
+
+    def test_specs_hashable_and_comparable(self):
+        a = FineTuneStrategySpec(identity=("zero_aug",), fusion="last", readout="mean")
+        b = FineTuneStrategySpec(identity=("zero_aug",), fusion="last", readout="mean")
+        assert a == b and len({a, b}) == 1

@@ -1,0 +1,122 @@
+"""Tests for the fine-tuning trainer: losses, evaluation, early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.finetune import FineTuneStrategy, evaluate_model, finetune, supervised_loss
+from repro.gnn import GNNEncoder, GraphPredictionModel
+from repro.graph import Batch, load_dataset
+from repro.nn import Tensor
+
+
+def make_model(num_tasks=1, seed=0, layers=2, dim=12):
+    enc = GNNEncoder("gin", num_layers=layers, emb_dim=dim, dropout=0.0, seed=seed)
+    return GraphPredictionModel(enc, num_tasks=num_tasks, seed=seed)
+
+
+class TestSupervisedLoss:
+    def test_classification_masked(self, tiny_dataset):
+        batch = Batch(tiny_dataset.graphs[:8])
+        logits = Tensor(np.zeros((8, 1)))
+        loss = supervised_loss(logits, batch, "classification")
+        assert abs(loss.item() - np.log(2)) < 1e-9
+
+    def test_regression_mse(self, tiny_regression_dataset):
+        batch = Batch(tiny_regression_dataset.graphs[:8])
+        logits = Tensor(batch.labels_filled())
+        assert supervised_loss(logits, batch, "regression").item() == pytest.approx(0.0)
+
+    def test_missing_labels_excluded(self):
+        ds = load_dataset("tox21", size=40)
+        batch = Batch(ds.graphs[:10])
+        big = Tensor(np.where(np.isnan(batch.y), 1e6, 0.0))
+        # Huge logits only at missing positions must not explode the loss.
+        loss = supervised_loss(big, batch, "classification")
+        assert loss.item() < 10.0
+
+    def test_unknown_task_type_raises(self, tiny_dataset):
+        batch = Batch(tiny_dataset.graphs[:4])
+        with pytest.raises(ValueError):
+            supervised_loss(Tensor(np.zeros((4, 1))), batch, "ranking")
+
+
+class TestEvaluateModel:
+    def test_returns_metric_value(self, tiny_dataset):
+        model = make_model()
+        score = evaluate_model(model, tiny_dataset.graphs[:30], tiny_dataset.info)
+        assert 0.0 <= score <= 1.0
+
+    def test_restores_training_mode(self, tiny_dataset):
+        model = make_model()
+        model.train()
+        evaluate_model(model, tiny_dataset.graphs[:20], tiny_dataset.info)
+        assert model.training
+
+    def test_fallback_on_single_class(self):
+        ds = load_dataset("bbbp", size=40)
+        one_class = [g for g in ds.graphs if g.y[0] == 1.0][:5]
+        model = make_model()
+        with pytest.raises(ValueError):
+            evaluate_model(model, one_class, ds.info)
+        score = evaluate_model(model, one_class, ds.info, allow_fallback=True)
+        assert 0.0 <= score <= 1.0
+
+
+class TestFinetuneLoop:
+    def test_loss_decreases(self, tiny_dataset):
+        model = make_model()
+        res = finetune(model, tiny_dataset, epochs=6, patience=6, seed=0)
+        assert res.train_losses[-1] < res.train_losses[0]
+
+    def test_early_stopping_respects_patience(self, tiny_dataset):
+        model = make_model()
+        res = finetune(model, tiny_dataset, epochs=50, patience=2, seed=0)
+        assert len(res.train_losses) <= 50
+        assert res.best_epoch <= len(res.train_losses)
+
+    def test_best_weights_restored(self, tiny_dataset):
+        model = make_model()
+        res = finetune(model, tiny_dataset, epochs=5, patience=5, seed=0)
+        # After training, evaluating valid again must reproduce best score.
+        _, valid, _ = tiny_dataset.split()
+        score = evaluate_model(model, valid, tiny_dataset.info, allow_fallback=True)
+        assert score == pytest.approx(res.valid_score, abs=1e-9)
+
+    def test_result_records_metadata(self, tiny_dataset):
+        res = finetune(make_model(), tiny_dataset, epochs=2, patience=2, seed=0)
+        assert res.metric == "roc_auc"
+        assert res.seconds_per_epoch > 0
+        assert res.strategy == "base"
+
+    def test_regression_path(self, tiny_regression_dataset):
+        model = make_model()
+        res = finetune(model, tiny_regression_dataset, epochs=4, patience=4, seed=0)
+        assert res.metric == "rmse" and np.isfinite(res.test_score)
+
+    def test_multitask_path(self):
+        ds = load_dataset("clintox", size=50)
+        model = make_model(num_tasks=ds.num_tasks)
+        res = finetune(model, ds, epochs=3, patience=3, seed=0)
+        assert np.isfinite(res.test_score)
+
+    def test_strategy_hooks_called(self, tiny_dataset):
+        calls = {"prepare": 0, "reg": 0}
+
+        class Spy(FineTuneStrategy):
+            name = "spy"
+
+            def prepare(self, model):
+                calls["prepare"] += 1
+                return model
+
+            def regularizer(self, model, batch, outputs):
+                calls["reg"] += 1
+                return Tensor(0.0)
+
+        finetune(make_model(), tiny_dataset, strategy=Spy(), epochs=2, patience=2, seed=0)
+        assert calls["prepare"] == 1 and calls["reg"] > 0
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        r1 = finetune(make_model(seed=3), tiny_dataset, epochs=3, patience=3, seed=7)
+        r2 = finetune(make_model(seed=3), tiny_dataset, epochs=3, patience=3, seed=7)
+        assert r1.test_score == pytest.approx(r2.test_score)

@@ -1,0 +1,230 @@
+"""Tests for every fine-tuning strategy (paper Tabs. II, VII, VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.finetune import (
+    AdapterFineTune,
+    BSSFineTune,
+    DELTAFineTune,
+    FeatureExtractorFineTune,
+    GTOTFineTune,
+    L2SPFineTune,
+    LastKFineTune,
+    STRATEGY_REGISTRY,
+    StochNormFineTune,
+    VanillaFineTune,
+    bss_penalty,
+    finetune,
+    sinkhorn_plan,
+)
+from repro.gnn import GNNEncoder, GraphPredictionModel
+from repro.graph import Batch
+from repro.nn import StochNorm1d, Tensor
+from tests.conftest import gradcheck
+
+
+def make_model(seed=0, layers=3, dim=12):
+    enc = GNNEncoder("gin", num_layers=layers, emb_dim=dim, dropout=0.0, seed=seed)
+    return GraphPredictionModel(enc, num_tasks=1, seed=seed)
+
+
+ALL_STRATEGIES = [
+    VanillaFineTune(),
+    L2SPFineTune(),
+    DELTAFineTune(),
+    BSSFineTune(),
+    StochNormFineTune(),
+    GTOTFineTune(),
+    FeatureExtractorFineTune(),
+    LastKFineTune(2),
+    AdapterFineTune(4),
+]
+
+
+class TestAllStrategiesRun:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_finetune_completes(self, strategy, tiny_dataset):
+        res = finetune(make_model(), tiny_dataset, strategy=strategy,
+                       epochs=2, patience=2, seed=0)
+        assert np.isfinite(res.test_score)
+        assert res.strategy == strategy.name
+
+    def test_registry_contents(self):
+        assert set(STRATEGY_REGISTRY) == {
+            "vanilla", "l2sp", "delta", "bss", "stochnorm", "gtot", "feature_extractor",
+        }
+
+
+class TestFreezingStrategies:
+    def test_feature_extractor_freezes_encoder(self):
+        model = FeatureExtractorFineTune().prepare(make_model())
+        assert all(not p.requires_grad for p in model.encoder.parameters())
+        assert model.head.weight.requires_grad
+
+    def test_last_k_freezes_early_layers(self):
+        model = LastKFineTune(1).prepare(make_model(layers=3))
+        assert all(not p.requires_grad for p in model.encoder.convs[0].parameters())
+        assert all(not p.requires_grad for p in model.encoder.convs[1].parameters())
+        assert all(p.requires_grad for p in model.encoder.convs[2].parameters())
+        assert not model.encoder.atom_embedding.weight.requires_grad
+
+    def test_last_k_equals_layers_tunes_all_convs(self):
+        model = LastKFineTune(3).prepare(make_model(layers=3))
+        for conv in model.encoder.convs:
+            assert all(p.requires_grad for p in conv.parameters())
+
+    def test_last_k_negative_raises(self):
+        with pytest.raises(ValueError):
+            LastKFineTune(-1)
+
+    def test_trainable_parameters_excludes_frozen(self):
+        strategy = FeatureExtractorFineTune()
+        model = strategy.prepare(make_model())
+        trainable = strategy.trainable_parameters(model)
+        encoder_params = set(map(id, model.encoder.parameters()))
+        assert all(id(p) not in encoder_params for p in trainable)
+
+
+class TestAdapter:
+    def test_adapter_parameter_budget_small(self):
+        model = make_model(dim=12)
+        encoder_params = model.encoder.num_parameters()
+        model = AdapterFineTune(2).prepare(model)
+        trainable = sum(p.size for p in model.parameters() if p.requires_grad)
+        assert trainable < encoder_params  # adapters + head << encoder
+
+    def test_adapter_wraps_but_preserves_interface(self, batch):
+        model = AdapterFineTune(4).prepare(make_model())
+        out = model.forward_full(batch)
+        assert out["logits"].shape == (batch.num_graphs, 1)
+        assert model.encoder.num_layers == 3 and model.encoder.emb_dim == 12
+
+    def test_adapter_initially_identity(self, batch):
+        base = make_model(seed=1)
+        base.eval()
+        expected = base.forward_full(batch)["node"].data.copy()
+        wrapped = AdapterFineTune(4, seed=5).prepare(base)
+        wrapped.eval()
+        got = wrapped.forward_full(batch)["node"].data
+        # Zero-initialized adapters must not perturb the representation.
+        assert np.allclose(got, expected)
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError):
+            AdapterFineTune(0)
+
+
+class TestRegularizers:
+    def test_l2sp_zero_at_init(self, tiny_dataset):
+        strategy = L2SPFineTune(alpha=1.0, beta=0.0)
+        model = strategy.prepare(make_model())
+        batch = Batch(tiny_dataset.graphs[:4])
+        outputs = model.forward_full(batch)
+        reg = strategy.regularizer(model, batch, outputs)
+        assert reg.item() == pytest.approx(0.0)
+
+    def test_l2sp_grows_with_drift(self, tiny_dataset):
+        strategy = L2SPFineTune(alpha=1.0, beta=0.0)
+        model = strategy.prepare(make_model())
+        for p in model.encoder.parameters():
+            p.data += 0.1
+        batch = Batch(tiny_dataset.graphs[:4])
+        reg = strategy.regularizer(model, batch, model.forward_full(batch))
+        assert reg.item() > 0.0
+
+    def test_delta_zero_at_init(self, tiny_dataset):
+        strategy = DELTAFineTune(weight=1.0)
+        model = make_model()
+        model.eval()  # disable dropout so features match exactly
+        model = strategy.prepare(model)
+        batch = Batch(tiny_dataset.graphs[:4])
+        reg = strategy.regularizer(model, batch, model.forward_full(batch))
+        assert reg.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_delta_penalizes_feature_drift(self, tiny_dataset):
+        strategy = DELTAFineTune(weight=1.0)
+        model = make_model()
+        model.eval()
+        model = strategy.prepare(model)
+        for p in model.encoder.parameters():
+            p.data += 0.3
+        batch = Batch(tiny_dataset.graphs[:4])
+        reg = strategy.regularizer(model, batch, model.forward_full(batch))
+        assert reg.item() > 0.0
+
+    def test_stochnorm_swaps_norm_modules(self):
+        model = StochNormFineTune().prepare(make_model())
+        assert all(isinstance(n, StochNorm1d) for n in model.encoder.norms)
+
+    def test_stochnorm_preserves_statistics(self):
+        base = make_model()
+        base.encoder.norms[0].set_buffer("running_mean", np.full(12, 3.0))
+        model = StochNormFineTune().prepare(base)
+        assert np.allclose(model.encoder.norms[0].running_mean, 3.0)
+
+
+class TestBSS:
+    def test_penalty_equals_smallest_singular_values(self, rng):
+        x = rng.normal(size=(6, 4))
+        s = np.linalg.svd(x, compute_uv=False)
+        got = bss_penalty(Tensor(x), k=2).item()
+        assert got == pytest.approx(np.sum(np.sort(s)[:2] ** 2))
+
+    def test_penalty_gradcheck(self, rng):
+        x = rng.normal(size=(5, 3))
+        gradcheck(lambda t: bss_penalty(t, k=1), x, tol=1e-4)
+
+    def test_k_larger_than_rank_handled(self, rng):
+        x = rng.normal(size=(3, 2))
+        assert np.isfinite(bss_penalty(Tensor(x), k=10).item())
+
+
+class TestGTOT:
+    def test_sinkhorn_marginals_uniform(self, rng):
+        n = 5
+        cost = rng.random((n, n))
+        mask = np.ones((n, n))
+        plan = sinkhorn_plan(cost, mask, epsilon=0.5, iterations=100)
+        assert np.allclose(plan.sum(axis=1), 1.0 / n, atol=1e-6)
+        assert np.allclose(plan.sum(axis=0), 1.0 / n, atol=1e-6)
+
+    def test_sinkhorn_respects_mask(self, rng):
+        cost = np.zeros((3, 3))
+        mask = np.eye(3)
+        plan = sinkhorn_plan(cost, mask, epsilon=0.1, iterations=50)
+        off_diagonal = plan[~np.eye(3, dtype=bool)]
+        assert np.all(off_diagonal < 1e-8)
+
+    def test_sinkhorn_prefers_cheap_cells(self, rng):
+        cost = np.array([[0.0, 10.0], [10.0, 0.0]])
+        plan = sinkhorn_plan(cost, np.ones((2, 2)), epsilon=0.1, iterations=100)
+        assert plan[0, 0] > plan[0, 1] and plan[1, 1] > plan[1, 0]
+
+    def test_gtot_grows_with_drift(self, tiny_dataset):
+        # Entropic smoothing spreads some mass off-diagonal, so the OT value
+        # at init is small-but-nonzero; it must grow as representations drift
+        # from the pre-trained ones.
+        strategy = GTOTFineTune(weight=1.0)
+        model = make_model()
+        model.eval()
+        model = strategy.prepare(model)
+        batch = Batch(tiny_dataset.graphs[:4])
+        at_init = strategy.regularizer(model, batch, model.forward_full(batch)).item()
+        for p in model.encoder.parameters():
+            p.data += 0.5
+        drifted = strategy.regularizer(model, batch, model.forward_full(batch)).item()
+        assert 0.0 <= at_init < drifted
+
+    def test_gtot_gradient_flows(self, tiny_dataset):
+        strategy = GTOTFineTune(weight=1.0)
+        model = make_model()
+        model.eval()
+        model = strategy.prepare(model)
+        for p in model.encoder.parameters():
+            p.data += 0.2
+        batch = Batch(tiny_dataset.graphs[:4])
+        reg = strategy.regularizer(model, batch, model.forward_full(batch))
+        reg.backward()
+        grads = [p.grad for p in model.encoder.parameters() if p.grad is not None]
+        assert grads and any(np.abs(g).sum() > 0 for g in grads)

@@ -1,0 +1,67 @@
+"""Batching invariance: a graph's prediction must not depend on its batch.
+
+This is the core correctness property of disjoint-union batching — message
+passing, fusion, and readout must never leak information across graphs.
+(Holds in eval mode; train-mode BatchNorm intentionally couples the batch.)
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import GNNEncoder, GraphPredictionModel
+from repro.graph import Batch, MoleculeGenerator
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return MoleculeGenerator(num_scaffolds=6, seed=13).generate_many(20)
+
+
+def make_model(fusion, readout):
+    return GraphPredictionModel(
+        GNNEncoder("gin", num_layers=3, emb_dim=12, dropout=0.0, seed=0),
+        num_tasks=2, fusion=fusion, readout=readout, seed=0,
+    )
+
+
+@pytest.mark.parametrize("fusion", ["last", "concat", "lstm", "gpr"])
+@pytest.mark.parametrize("readout", ["sum", "mean", "set2set", "sort", "neural"])
+def test_alone_equals_batched(pool, fusion, readout):
+    model = make_model(fusion, readout)
+    model.eval()
+    target = pool[0]
+    alone = model(Batch([target])).data[0]
+    batched = model(Batch([pool[1], target, pool[2]])).data[1]
+    assert np.allclose(alone, batched, atol=1e-8), (fusion, readout)
+
+
+@given(
+    index=st.integers(0, 19),
+    companions=st.lists(st.integers(0, 19), min_size=1, max_size=5),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=25, deadline=None)
+def test_prediction_invariant_to_batch_composition(pool, index, companions, seed):
+    model = make_model("mean", "mean")
+    model.eval()
+    target = pool[index]
+    alone = model(Batch([target])).data[0]
+    rng = np.random.default_rng(seed)
+    others = [pool[i] for i in companions]
+    position = int(rng.integers(0, len(others) + 1))
+    graphs = others[:position] + [target] + others[position:]
+    batched = model(Batch(graphs)).data[position]
+    assert np.allclose(alone, batched, atol=1e-8)
+
+
+def test_batch_order_permutes_outputs(pool):
+    """Reordering graphs permutes rows but never changes values."""
+    model = make_model("max", "sum")
+    model.eval()
+    graphs = pool[:5]
+    base = model(Batch(graphs)).data
+    perm = [3, 1, 4, 0, 2]
+    permuted = model(Batch([graphs[i] for i in perm])).data
+    assert np.allclose(permuted, base[perm], atol=1e-8)

@@ -1,0 +1,138 @@
+"""Tests for message-passing convolutions: contracts and equivariance."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import CONV_TYPES, BondEncoder, make_conv, segment_softmax
+from repro.graph import Batch
+from repro.nn import Tensor, segment_sum
+
+
+@pytest.fixture
+def mp_inputs(batch, rng):
+    h = Tensor(rng.normal(size=(batch.num_nodes, 16)), requires_grad=True)
+    return h, batch.edge_index, batch.edge_attr
+
+
+class TestContracts:
+    @pytest.mark.parametrize("conv_type", CONV_TYPES)
+    def test_shape_preserved(self, conv_type, mp_inputs, rng):
+        conv = make_conv(conv_type, 16, rng)
+        h, ei, ea = mp_inputs
+        assert conv(h, ei, ea).shape == h.shape
+
+    @pytest.mark.parametrize("conv_type", CONV_TYPES)
+    def test_gradient_reaches_input_and_params(self, conv_type, mp_inputs, rng):
+        conv = make_conv(conv_type, 16, rng)
+        h, ei, ea = mp_inputs
+        conv(h, ei, ea).sum().backward()
+        assert h.grad is not None and np.abs(h.grad).sum() > 0
+        grads = [p.grad for p in conv.parameters() if p.grad is not None]
+        assert grads
+
+    @pytest.mark.parametrize("conv_type", CONV_TYPES)
+    def test_handles_empty_edges(self, conv_type, rng):
+        conv = make_conv(conv_type, 8, rng)
+        h = Tensor(rng.normal(size=(4, 8)))
+        out = conv(h, np.zeros((2, 0), dtype=np.int64), np.zeros((0, 2), dtype=np.int64))
+        assert out.shape == (4, 8)
+
+    def test_unknown_conv_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_conv("transformer", 8, rng)
+
+    @pytest.mark.parametrize("conv_type", CONV_TYPES)
+    def test_permutation_equivariance(self, conv_type, batch, rng):
+        """conv(P h) == P conv(h) for a node relabeling P."""
+        conv = make_conv(conv_type, 8, rng)
+        conv.eval()
+        n = batch.num_nodes
+        h = Tensor(np.random.default_rng(1).normal(size=(n, 8)))
+        out = conv(h, batch.edge_index, batch.edge_attr).data
+
+        perm = np.random.default_rng(2).permutation(n)
+        inv = np.argsort(perm)
+        h_p = Tensor(h.data[perm])
+        ei_p = inv[batch.edge_index]
+        out_p = conv(h_p, ei_p, batch.edge_attr).data
+        assert np.allclose(out_p, out[perm], atol=1e-8)
+
+
+class TestGIN:
+    def test_eps_balances_self_vs_neighbors(self, batch, rng):
+        conv = make_conv("gin", 8, rng)
+        h = Tensor(np.random.default_rng(0).normal(size=(batch.num_nodes, 8)))
+        base = conv(h, batch.edge_index, batch.edge_attr).data.copy()
+        conv.eps.data[:] = 5.0
+        boosted = conv(h, batch.edge_index, batch.edge_attr).data
+        assert not np.allclose(base, boosted)
+
+    def test_sum_aggregation(self, rng):
+        """Two isolated nodes feeding one target: message = sum of both."""
+        conv = make_conv("gin", 4, rng)
+        h = Tensor(np.ones((3, 4)))
+        ei = np.array([[0, 1], [2, 2]])
+        ea = np.zeros((2, 2), dtype=np.int64)
+        out_two = conv(h, ei, ea).data[2]
+        out_one = conv(h, ei[:, :1], ea[:1]).data[2]
+        assert not np.allclose(out_two, out_one)
+
+
+class TestGCN:
+    def test_degree_normalization_bounds_output(self, rng):
+        conv = make_conv("gcn", 4, rng)
+        # A hub node with many neighbors should not blow up.
+        n = 30
+        h = Tensor(np.ones((n, 4)))
+        src = np.arange(1, n)
+        ei = np.stack([src, np.zeros_like(src)])
+        ei = np.concatenate([ei, ei[::-1]], axis=1)
+        ea = np.zeros((ei.shape[1], 2), dtype=np.int64)
+        out = conv(h, ei, ea).data
+        assert np.all(np.isfinite(out)) and np.abs(out).max() < 100
+
+    def test_output_nonnegative_after_relu(self, mp_inputs, rng):
+        conv = make_conv("gcn", 16, rng)
+        h, ei, ea = mp_inputs
+        assert np.all(conv(h, ei, ea).data >= 0)
+
+
+class TestSAGE:
+    def test_concat_self_and_neighbors(self, rng):
+        conv = make_conv("sage", 4, rng)
+        assert conv.linear.in_dim == 8
+
+
+class TestGAT:
+    def test_attention_weights_sum_to_one(self, batch, rng):
+        scores = Tensor(np.random.default_rng(0).normal(size=batch.num_edges))
+        attn = segment_softmax(scores, batch.edge_index[1], batch.num_nodes)
+        sums = segment_sum(attn, batch.edge_index[1], batch.num_nodes).data
+        targets = np.unique(batch.edge_index[1])
+        assert np.allclose(sums[targets], 1.0)
+
+    def test_multi_head_output_width(self, mp_inputs, rng):
+        conv = make_conv("gat", 16, rng)
+        h, ei, ea = mp_inputs
+        assert conv(h, ei, ea).shape == (h.shape[0], 16)
+
+    def test_segment_softmax_stable_for_large_scores(self, rng):
+        scores = Tensor(np.array([1000.0, 1001.0, -1000.0]))
+        out = segment_softmax(scores, np.array([0, 0, 1]), 2)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestBondEncoder:
+    def test_embeds_both_fields(self, rng):
+        enc = BondEncoder(8, rng)
+        ea = np.array([[0, 0], [1, 2]])
+        out = enc(ea)
+        assert out.shape == (2, 8)
+        assert not np.allclose(out.data[0], out.data[1])
+
+    def test_mask_bond_id_valid(self, rng):
+        from repro.graph import MASK_BOND_ID
+
+        enc = BondEncoder(8, rng)
+        out = enc(np.array([[MASK_BOND_ID, 0]]))
+        assert out.shape == (1, 8)

@@ -1,0 +1,92 @@
+"""Tests for multi-scale fusion candidates (phi_fuse)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import FUSION_CANDIDATES, make_fusion
+from repro.gnn.fusion import GPRFusion, LSTMFusion, PPRFusion
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def layers(rng):
+    return [Tensor(rng.normal(size=(10, 8)), requires_grad=True) for _ in range(4)]
+
+
+class TestContracts:
+    @pytest.mark.parametrize("name", FUSION_CANDIDATES)
+    def test_output_shape(self, name, layers, rng):
+        fusion = make_fusion(name, 4, 8, rng)
+        assert fusion(layers).shape == (10, 8)
+
+    @pytest.mark.parametrize("name", FUSION_CANDIDATES)
+    def test_gradients_flow(self, name, layers, rng):
+        fusion = make_fusion(name, 4, 8, rng)
+        fusion(layers).sum().backward()
+        grads = [layer.grad for layer in layers if layer.grad is not None]
+        assert grads, f"{name} produced no gradient"
+
+    def test_unknown_fusion_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_fusion("transformer", 4, 8, rng)
+
+
+class TestSemantics:
+    def test_last_returns_final_layer(self, layers, rng):
+        fusion = make_fusion("last", 4, 8, rng)
+        assert np.allclose(fusion(layers).data, layers[-1].data)
+
+    def test_mean_is_equal_weighting(self, layers, rng):
+        fusion = make_fusion("mean", 4, 8, rng)
+        expected = np.mean([l.data for l in layers], axis=0)
+        assert np.allclose(fusion(layers).data, expected)
+
+    def test_max_is_channelwise_max(self, layers, rng):
+        fusion = make_fusion("max", 4, 8, rng)
+        expected = np.max([l.data for l in layers], axis=0)
+        assert np.allclose(fusion(layers).data, expected)
+
+    def test_ppr_weights_decay_and_normalize(self):
+        fusion = PPRFusion(5, gamma=0.2)
+        assert abs(fusion.weights.sum() - 1.0) < 1e-12
+        assert np.all(np.diff(fusion.weights) < 0)
+
+    def test_ppr_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            PPRFusion(3, gamma=1.5)
+
+    def test_concat_mixes_all_layers(self, layers, rng):
+        fusion = make_fusion("concat", 4, 8, rng)
+        out_full = fusion(layers).data.copy()
+        perturbed = [layers[0] * 2.0] + layers[1:]
+        assert not np.allclose(fusion(perturbed).data, out_full)
+
+    def test_gpr_initialized_to_ppr_profile(self):
+        gpr = GPRFusion(4, gamma=0.15)
+        ppr = PPRFusion(4, gamma=0.15)
+        assert np.allclose(gpr.gamma.data, ppr.weights)
+
+    def test_gpr_weights_trainable_and_signable(self, layers, rng):
+        gpr = GPRFusion(4)
+        gpr(layers).sum().backward()
+        assert gpr.gamma.grad is not None
+        gpr.gamma.data[0] = -0.5  # signed weights are representable
+        out = gpr(layers)
+        assert np.all(np.isfinite(out.data))
+
+    def test_lstm_attention_depends_on_content(self, rng):
+        fusion = LSTMFusion(3, 8, rng)
+        base = [Tensor(np.zeros((4, 8))) for _ in range(3)]
+        spike = [Tensor(np.zeros((4, 8))), Tensor(np.ones((4, 8)) * 3.0),
+                 Tensor(np.zeros((4, 8)))]
+        out_base = fusion(base).data
+        out_spike = fusion(spike).data
+        assert not np.allclose(out_base, out_spike)
+
+    def test_lstm_weights_are_per_node(self, rng):
+        # Different nodes with different trajectories get different fusions.
+        fusion = LSTMFusion(2, 4, rng)
+        l1 = Tensor(np.vstack([np.zeros(4), np.ones(4) * 2.0]))
+        l2 = Tensor(np.vstack([np.ones(4), np.zeros(4)]))
+        out = fusion([l1, l2]).data
+        assert not np.allclose(out[0], out[1])

@@ -1,0 +1,62 @@
+"""Tests for identity-augmentation candidates (phi_id)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import IDENTITY_CANDIDATES, make_identity_aug
+from repro.gnn.identity import IdentityAug, TransAug, ZeroAug
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def hz(rng):
+    h = Tensor(rng.normal(size=(6, 8)), requires_grad=True)
+    z = Tensor(rng.normal(size=(6, 8)), requires_grad=True)
+    return h, z
+
+
+class TestCandidates:
+    def test_candidate_list_matches_paper(self):
+        assert IDENTITY_CANDIDATES == ["zero_aug", "identity_aug", "trans_aug"]
+
+    @pytest.mark.parametrize("name", IDENTITY_CANDIDATES)
+    def test_shape_contract(self, name, hz, rng):
+        aug = make_identity_aug(name, 8, rng)
+        h, z = hz
+        assert aug(h, z).shape == (6, 8)
+
+    def test_unknown_name_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_identity_aug("skipnet", 8, rng)
+
+    def test_zero_aug_ignores_identity(self, hz):
+        h, z = hz
+        out = ZeroAug()(h, z)
+        assert np.allclose(out.data, z.data)
+
+    def test_identity_aug_is_residual(self, hz):
+        h, z = hz
+        assert np.allclose(IdentityAug()(h, z).data, h.data + z.data)
+
+    def test_trans_aug_starts_as_zero_aug(self, hz, rng):
+        # Bottleneck up-projection is zero-initialized: g(h) == 0 at init.
+        aug = TransAug(8, 2, rng)
+        h, z = hz
+        assert np.allclose(aug(h, z).data, z.data)
+
+    def test_trans_aug_parameter_efficient(self, rng):
+        aug = TransAug(32, 4, rng)
+        assert aug.num_parameters() < 32 * 32
+
+    def test_trans_aug_gradient_reaches_identity_path(self, hz, rng):
+        aug = TransAug(8, 2, rng)
+        # Push the up weights off zero so the identity path is active.
+        aug.transform.up.weight.data[:] = 0.1
+        h, z = hz
+        aug(h, z).sum().backward()
+        assert h.grad is not None and np.abs(h.grad).sum() > 0
+
+    def test_bottleneck_capped_by_dim(self, rng):
+        # dim=4 with default bottleneck 8 must clamp below dim.
+        aug = make_identity_aug("trans_aug", 4, rng)
+        assert aug.transform.hidden < 4

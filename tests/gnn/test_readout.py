@@ -1,0 +1,119 @@
+"""Tests for graph-level readout candidates (phi_read)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import READOUT_CANDIDATES, make_readout
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def pooled_inputs(rng):
+    h = Tensor(rng.normal(size=(12, 8)), requires_grad=True)
+    batch = np.repeat(np.arange(3), 4)
+    return h, batch, 3
+
+
+class TestContracts:
+    @pytest.mark.parametrize("name", READOUT_CANDIDATES)
+    def test_output_shape(self, name, pooled_inputs, rng):
+        readout = make_readout(name, 8, rng)
+        h, batch, num = pooled_inputs
+        assert readout(h, batch, num).shape == (3, 8)
+
+    @pytest.mark.parametrize("name", READOUT_CANDIDATES)
+    def test_gradients_flow(self, name, pooled_inputs, rng):
+        readout = make_readout(name, 8, rng)
+        h, batch, num = pooled_inputs
+        readout(h, batch, num).sum().backward()
+        assert h.grad is not None and np.abs(h.grad).sum() > 0
+
+    @pytest.mark.parametrize("name", READOUT_CANDIDATES)
+    def test_permutation_invariance_within_graph(self, name, rng):
+        """Readout must be invariant to node order inside each graph."""
+        readout = make_readout(name, 8, rng)
+        h_data = np.random.default_rng(3).normal(size=(8, 8))
+        batch = np.repeat(np.arange(2), 4)
+        out = readout(Tensor(h_data), batch, 2).data.copy()
+        perm = np.concatenate([np.random.default_rng(4).permutation(4),
+                               4 + np.random.default_rng(5).permutation(4)])
+        out_p = readout(Tensor(h_data[perm]), batch, 2).data
+        assert np.allclose(out, out_p, atol=1e-8)
+
+    @pytest.mark.parametrize("name", READOUT_CANDIDATES)
+    def test_graph_independence(self, name, rng):
+        """Changing nodes of graph 1 must not change graph 0's readout."""
+        readout = make_readout(name, 4, rng)
+        h = np.random.default_rng(0).normal(size=(6, 4))
+        batch = np.array([0, 0, 0, 1, 1, 1])
+        base = readout(Tensor(h), batch, 2).data[0].copy()
+        h2 = h.copy()
+        h2[3:] *= 10.0
+        changed = readout(Tensor(h2), batch, 2).data[0]
+        assert np.allclose(base, changed, atol=1e-8)
+
+    def test_unknown_readout_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_readout("fourier", 8, rng)
+
+
+class TestSemantics:
+    def test_sum_scales_with_graph_size(self, rng):
+        readout = make_readout("sum", 4, rng)
+        h = Tensor(np.ones((6, 4)))
+        batch = np.array([0, 0, 0, 0, 1, 1])
+        out = readout(h, batch, 2).data
+        assert np.allclose(out[0], 4.0) and np.allclose(out[1], 2.0)
+
+    def test_mean_is_size_invariant(self, rng):
+        readout = make_readout("mean", 4, rng)
+        h = Tensor(np.ones((6, 4)))
+        batch = np.array([0, 0, 0, 0, 1, 1])
+        out = readout(h, batch, 2).data
+        assert np.allclose(out[0], out[1])
+
+    def test_max_detects_dominant_feature(self, rng):
+        readout = make_readout("max", 2, rng)
+        h = Tensor(np.array([[0.0, 1.0], [5.0, 0.0], [1.0, 1.0]]))
+        out = readout(h, np.zeros(3, dtype=np.int64), 1).data
+        assert np.allclose(out, [[5.0, 1.0]])
+
+    def test_set2set_attention_focuses(self, rng):
+        readout = make_readout("set2set", 8, rng)
+        h = Tensor(np.random.default_rng(1).normal(size=(5, 8)))
+        out = readout(h, np.zeros(5, dtype=np.int64), 1)
+        assert out.shape == (1, 8)
+        for p in readout.parameters():
+            p.zero_grad()
+        out.sum().backward()
+        assert readout.lstm.w_x.grad is not None
+
+    def test_sortpool_handles_small_graphs(self, rng):
+        # Graph smaller than k must be zero-padded, not crash.
+        readout = make_readout("sort", 4, rng)
+        h = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        out = readout(h, np.zeros(2, dtype=np.int64), 1)
+        assert out.shape == (1, 4)
+
+    def test_sortpool_selects_topk_by_last_channel(self, rng):
+        from repro.gnn.readout import SortPoolReadout
+
+        readout = SortPoolReadout(4, rng, k=1)
+        h = np.zeros((3, 4))
+        h[1, -1] = 10.0  # node 1 wins the sort channel
+        h[1, 0] = 7.0
+        t = Tensor(h, requires_grad=True)
+        readout(t, np.zeros(3, dtype=np.int64), 1).sum().backward()
+        # Only the selected node receives gradient.
+        assert np.abs(t.grad[1]).sum() > 0
+        assert np.abs(t.grad[0]).sum() == 0 and np.abs(t.grad[2]).sum() == 0
+
+    def test_neural_pool_is_nonlinear_in_nodes(self, rng):
+        readout = make_readout("neural", 4, rng)
+        # Zero-init biases make ReLU nets positively homogeneous; a nonzero
+        # bias exposes the nonlinearity under scaling.
+        readout.pre.layers[0].bias.data[:] = 0.5
+        h = Tensor(np.random.default_rng(2).normal(size=(4, 4)))
+        out1 = readout(h, np.zeros(4, dtype=np.int64), 1).data
+        out2 = readout(h * 2.0, np.zeros(4, dtype=np.int64), 1).data
+        assert not np.allclose(out2, 2.0 * out1)

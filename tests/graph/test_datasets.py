@@ -1,0 +1,143 @@
+"""Tests for the dataset registry and label synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DATASET_REGISTRY,
+    DOWNSTREAM_DATASETS,
+    load_dataset,
+    zinc_corpus,
+)
+
+
+class TestRegistry:
+    def test_all_eight_paper_datasets_present(self):
+        assert set(DOWNSTREAM_DATASETS) == {
+            "bbbp", "tox21", "toxcast", "sider", "clintox", "bace", "esol", "lipo",
+        }
+
+    def test_paper_sizes_recorded(self):
+        assert DATASET_REGISTRY["bbbp"].paper_size == 2039
+        assert DATASET_REGISTRY["tox21"].paper_size == 7831
+        assert DATASET_REGISTRY["toxcast"].paper_size == 8575
+        assert DATASET_REGISTRY["sider"].paper_size == 1427
+        assert DATASET_REGISTRY["clintox"].paper_size == 1478
+        assert DATASET_REGISTRY["bace"].paper_size == 1513
+        assert DATASET_REGISTRY["esol"].paper_size == 1128
+        assert DATASET_REGISTRY["lipo"].paper_size == 4200
+
+    def test_task_counts_match_paper(self):
+        expected = {"bbbp": 1, "tox21": 12, "toxcast": 617, "sider": 27,
+                    "clintox": 2, "bace": 1, "esol": 1, "lipo": 1}
+        for name, tasks in expected.items():
+            assert DATASET_REGISTRY[name].num_tasks == tasks
+
+    def test_task_types_and_metrics(self):
+        for name in ["esol", "lipo"]:
+            info = DATASET_REGISTRY[name]
+            assert info.task_type == "regression" and info.metric == "rmse"
+        for name in ["bbbp", "bace", "tox21"]:
+            info = DATASET_REGISTRY[name]
+            assert info.task_type == "classification" and info.metric == "roc_auc"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+
+class TestLoading:
+    def test_size_override(self):
+        assert len(load_dataset("bbbp", size=40)) == 40
+
+    def test_case_insensitive(self):
+        assert load_dataset("BBBP", size=40).info.name == "bbbp"
+
+    def test_task_override(self):
+        ds = load_dataset("toxcast", size=30, num_tasks=5)
+        assert ds.num_tasks == 5
+        assert ds.graphs[0].y.shape == (5,)
+
+    def test_caching_returns_same_object(self):
+        a = load_dataset("bbbp", size=40)
+        b = load_dataset("bbbp", size=40)
+        assert a is b
+
+    def test_seed_override_changes_data(self):
+        a = load_dataset("bbbp", size=40)
+        b = load_dataset("bbbp", size=40, seed=123)
+        assert not np.array_equal(a.graphs[0].x, b.graphs[0].x)
+
+    def test_subsample(self):
+        ds = load_dataset("bbbp", size=50)
+        sub = ds.subsample(20)
+        assert len(sub) == 20
+        assert ds.subsample(1000) is ds
+
+
+class TestLabels:
+    def test_classification_labels_binary(self):
+        ds = load_dataset("bace", size=60)
+        ys = np.stack([g.y for g in ds.graphs])
+        assert set(np.unique(ys[~np.isnan(ys)])) <= {0.0, 1.0}
+
+    def test_both_classes_present(self):
+        ds = load_dataset("bbbp", size=80)
+        ys = np.stack([g.y for g in ds.graphs])
+        assert 0.1 < np.nanmean(ys) < 0.9
+
+    def test_regression_labels_continuous(self):
+        ds = load_dataset("esol", size=60)
+        ys = np.stack([g.y for g in ds.graphs])
+        assert len(np.unique(ys)) > 10
+
+    def test_multitask_missing_labels(self):
+        ds = load_dataset("tox21", size=80)
+        ys = np.stack([g.y for g in ds.graphs])
+        frac = np.isnan(ys).mean()
+        assert 0.05 < frac < 0.3
+
+    def test_single_task_no_missing(self):
+        ds = load_dataset("bbbp", size=60)
+        ys = np.stack([g.y for g in ds.graphs])
+        assert not np.isnan(ys).any()
+
+    def test_labels_are_structure_dependent(self):
+        # Labels must correlate with descriptors far above chance: a model
+        # cannot learn anything from pure noise.
+        from repro.graph import molecule_descriptors
+
+        ds = load_dataset("bace", size=150)
+        desc = np.stack([molecule_descriptors(g) for g in ds.graphs])
+        y = np.array([g.y[0] for g in ds.graphs])
+        # Best single-descriptor point-biserial correlation should be clear.
+        z = (desc - desc.mean(0)) / (desc.std(0) + 1e-9)
+        corr = np.abs(z[y == 1].mean(0) - z[y == 0].mean(0))
+        assert corr.max() > 0.4
+
+
+class TestSplit:
+    def test_split_memoized(self):
+        ds = load_dataset("bbbp", size=60)
+        a = ds.split()
+        b = ds.split()
+        # Index lists are memoized, so both calls pick the same graph objects.
+        assert a[0][0] is b[0][0] and len(a[2]) == len(b[2])
+
+    def test_split_sizes(self):
+        ds = load_dataset("clintox", size=100)
+        tr, va, te = ds.split()
+        assert len(tr) + len(va) + len(te) == 100
+        assert len(tr) > len(va) and len(tr) > len(te)
+
+
+class TestCorpus:
+    def test_zinc_corpus_unlabeled(self):
+        corpus = zinc_corpus(size=30)
+        assert len(corpus) == 30
+        assert all(g.y is None for g in corpus)
+
+    def test_zinc_deterministic(self):
+        a = zinc_corpus(size=10, seed=3)
+        b = zinc_corpus(size=10, seed=3)
+        assert np.array_equal(a[0].x, b[0].x)

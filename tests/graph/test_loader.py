@@ -1,0 +1,50 @@
+"""Tests for the DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Batch, DataLoader
+
+
+class TestDataLoader:
+    def test_batch_count(self, molecules):
+        loader = DataLoader(molecules, batch_size=8)
+        assert len(loader) == (len(molecules) + 7) // 8
+        assert len(list(loader)) == len(loader)
+
+    def test_last_batch_partial(self, molecules):
+        loader = DataLoader(molecules[:10], batch_size=4)
+        batches = list(loader)
+        assert batches[-1].num_graphs == 2
+
+    def test_drop_last(self, molecules):
+        loader = DataLoader(molecules[:10], batch_size=4, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 2
+        assert all(b.num_graphs == 4 for b in batches)
+
+    def test_no_shuffle_preserves_order(self, molecules):
+        loader = DataLoader(molecules, batch_size=len(molecules))
+        batch = next(iter(loader))
+        assert np.array_equal(batch.x, Batch(molecules).x)
+
+    def test_shuffle_changes_order_between_epochs(self, molecules):
+        loader = DataLoader(molecules, batch_size=len(molecules), shuffle=True,
+                            rng=np.random.default_rng(0))
+        first = next(iter(loader)).x.copy()
+        second = next(iter(loader)).x.copy()
+        assert not np.array_equal(first, second)
+
+    def test_shuffle_deterministic_given_rng(self, molecules):
+        a = DataLoader(molecules, batch_size=4, shuffle=True, rng=np.random.default_rng(1))
+        b = DataLoader(molecules, batch_size=4, shuffle=True, rng=np.random.default_rng(1))
+        assert np.array_equal(next(iter(a)).x, next(iter(b)).x)
+
+    def test_all_graphs_covered_each_epoch(self, molecules):
+        loader = DataLoader(molecules, batch_size=7, shuffle=True)
+        total = sum(b.num_graphs for b in loader)
+        assert total == len(molecules)
+
+    def test_invalid_batch_size(self, molecules):
+        with pytest.raises(ValueError):
+            DataLoader(molecules, batch_size=0)

@@ -1,0 +1,132 @@
+"""Tests for Murcko-like scaffolds and the scaffold split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    MoleculeGenerator,
+    murcko_scaffold_nodes,
+    scaffold_key,
+    scaffold_split,
+)
+
+
+def ring_with_tail():
+    """Triangle 0-1-2 plus tail 2-3-4."""
+    pairs = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]
+    src = [u for u, v in pairs] + [v for u, v in pairs]
+    dst = [v for u, v in pairs] + [u for u, v in pairs]
+    return Graph(
+        x=np.zeros((5, 2), dtype=np.int64),
+        edge_index=np.array([src, dst]),
+        edge_attr=np.zeros((10, 2), dtype=np.int64),
+    )
+
+
+class TestMurcko:
+    def test_strips_tail_keeps_ring(self):
+        assert set(murcko_scaffold_nodes(ring_with_tail()).tolist()) == {0, 1, 2}
+
+    def test_acyclic_graph_empty_scaffold(self):
+        path = Graph(
+            x=np.zeros((3, 2), dtype=np.int64),
+            edge_index=np.array([[0, 1, 1, 2], [1, 0, 2, 1]]),
+            edge_attr=np.zeros((4, 2), dtype=np.int64),
+        )
+        assert len(murcko_scaffold_nodes(path)) == 0
+        assert scaffold_key(path) == "acyclic"
+
+    def test_linker_between_rings_kept(self):
+        # Two triangles connected by a 1-node linker: 0-1-2, 3, 4-5-6.
+        pairs = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)]
+        src = [u for u, v in pairs] + [v for u, v in pairs]
+        dst = [v for u, v in pairs] + [u for u, v in pairs]
+        g = Graph(
+            x=np.zeros((7, 2), dtype=np.int64),
+            edge_index=np.array([src, dst]),
+            edge_attr=np.zeros((16, 2), dtype=np.int64),
+        )
+        assert set(murcko_scaffold_nodes(g).tolist()) == {0, 1, 2, 3, 4, 5, 6}
+
+    def test_key_permutation_invariant(self):
+        g = ring_with_tail()
+        perm = np.array([4, 2, 0, 1, 3])  # relabel nodes
+        inv = np.argsort(perm)
+        g2 = Graph(
+            x=g.x[perm],
+            edge_index=inv[g.edge_index],
+            edge_attr=g.edge_attr.copy(),
+        )
+        assert scaffold_key(g) == scaffold_key(g2)
+
+    def test_key_sensitive_to_ring_size(self):
+        def cycle(n):
+            pairs = [(i, (i + 1) % n) for i in range(n)]
+            src = [u for u, v in pairs] + [v for u, v in pairs]
+            dst = [v for u, v in pairs] + [u for u, v in pairs]
+            return Graph(
+                x=np.zeros((n, 2), dtype=np.int64),
+                edge_index=np.array([src, dst]),
+                edge_attr=np.zeros((2 * n, 2), dtype=np.int64),
+            )
+
+        assert scaffold_key(cycle(5)) != scaffold_key(cycle(6))
+
+    def test_key_sensitive_to_atom_types(self):
+        a = ring_with_tail()
+        b = ring_with_tail()
+        b.x[0, 0] = 2  # substitute a ring atom
+        assert scaffold_key(a) != scaffold_key(b)
+
+    @given(index=st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_same_scaffold_id_same_key_modulo_sidechains(self, index):
+        # Molecules forced onto the same template share the scaffold subgraph,
+        # so their keys must agree.
+        gen = MoleculeGenerator(num_scaffolds=6, seed=1)
+        a = gen.generate(index, scaffold_id=2)
+        b = gen.generate(index + 1000, scaffold_id=2)
+        assert scaffold_key(a) == scaffold_key(b)
+
+
+class TestScaffoldSplit:
+    @pytest.fixture(scope="class")
+    def graphs(self):
+        return MoleculeGenerator(num_scaffolds=10, seed=5).generate_many(120)
+
+    def test_partition_covers_everything(self, graphs):
+        tr, va, te = scaffold_split(graphs)
+        assert sorted(tr + va + te) == list(range(len(graphs)))
+
+    def test_no_scaffold_leakage(self, graphs):
+        tr, va, te = scaffold_split(graphs)
+        keys = lambda idx: {graphs[i].meta["scaffold_key"] for i in idx}
+        assert not (keys(tr) & keys(te))
+        assert not (keys(tr) & keys(va))
+
+    def test_fractions_approximate(self, graphs):
+        tr, va, te = scaffold_split(graphs, 0.8, 0.1, 0.1)
+        n = len(graphs)
+        assert abs(len(tr) / n - 0.8) < 0.15
+        assert len(va) > 0 and len(te) > 0
+
+    def test_invalid_fractions_raise(self, graphs):
+        with pytest.raises(ValueError):
+            scaffold_split(graphs, 0.5, 0.1, 0.1)
+
+    def test_deterministic(self, graphs):
+        assert scaffold_split(graphs) == scaffold_split(graphs)
+
+    def test_common_scaffolds_in_train(self, graphs):
+        tr, va, te = scaffold_split(graphs)
+        from collections import Counter
+
+        counts = Counter(g.meta["scaffold_key"] for g in graphs)
+        most_common_key = counts.most_common(1)[0][0]
+        assert all(
+            graphs[i].meta["scaffold_key"] != most_common_key for i in te
+        )
+        assert any(graphs[i].meta["scaffold_key"] == most_common_key for i in tr)

@@ -1,0 +1,180 @@
+"""Tests for functional ops: activations, losses, Gumbel-softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.conftest import gradcheck
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = F.softmax(Tensor(np.random.default_rng(0).normal(size=(5, 4)))).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        out = F.softmax(Tensor([1000.0, 1000.0])).data
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data))
+
+    def test_softmax_gradcheck(self):
+        rng = np.random.default_rng(2)
+        c = rng.normal(size=(3, 4))
+        gradcheck(lambda x: (F.softmax(x) * Tensor(c)).sum(), rng.normal(size=(3, 4)))
+
+    def test_log_softmax_gradcheck(self):
+        rng = np.random.default_rng(3)
+        c = rng.normal(size=(3, 4))
+        gradcheck(lambda x: (F.log_softmax(x) * Tensor(c)).sum(), rng.normal(size=(3, 4)))
+
+    def test_softmax_axis0(self):
+        out = F.softmax(Tensor(np.zeros((2, 3))), axis=0).data
+        assert np.allclose(out, 0.5)
+
+
+class TestLosses:
+    def test_bce_matches_manual(self):
+        logits = np.array([0.0, 2.0, -2.0])
+        y = np.array([1.0, 1.0, 0.0])
+        expected = np.mean(
+            np.log1p(np.exp(-np.abs(logits))) + np.maximum(logits, 0) - logits * y
+        )
+        got = F.binary_cross_entropy_with_logits(Tensor(logits), y).item()
+        assert abs(got - expected) < 1e-10
+
+    def test_bce_mask_excludes_entries(self):
+        logits = Tensor([[0.0, 100.0]])
+        y = np.array([[1.0, 0.0]])
+        mask = np.array([[1.0, 0.0]])
+        loss = F.binary_cross_entropy_with_logits(logits, y, mask).item()
+        assert abs(loss - np.log(2.0)) < 1e-9
+
+    def test_bce_gradcheck(self):
+        rng = np.random.default_rng(4)
+        y = (rng.random((4, 2)) > 0.5).astype(float)
+        gradcheck(
+            lambda x: F.binary_cross_entropy_with_logits(x, y),
+            rng.normal(size=(4, 2)),
+        )
+
+    def test_bce_extreme_logits_finite(self):
+        loss = F.binary_cross_entropy_with_logits(
+            Tensor([1e5, -1e5]), np.array([0.0, 1.0])
+        )
+        assert np.isfinite(loss.item())
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor([[100.0, 0.0], [0.0, 100.0]])
+        assert F.cross_entropy(logits, np.array([0, 1])).item() < 1e-8
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        assert abs(F.cross_entropy(logits, np.array([0, 3])).item() - np.log(4)) < 1e-9
+
+    def test_cross_entropy_gradcheck(self):
+        rng = np.random.default_rng(5)
+        targets = np.array([0, 2, 1])
+        gradcheck(lambda x: F.cross_entropy(x, targets), rng.normal(size=(3, 3)))
+
+    def test_mse_zero_for_equal(self):
+        assert F.mse_loss(Tensor([1.0, 2.0]), np.array([1.0, 2.0])).item() == 0.0
+
+    def test_mse_gradcheck(self):
+        y = np.array([0.5, -1.0])
+        gradcheck(lambda x: F.mse_loss(x, y), np.array([1.0, 2.0]))
+
+    def test_l2_norm_squared(self):
+        assert F.l2_norm_squared(Tensor([3.0, 4.0])).item() == 25.0
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert np.allclose(out.data, 1.0)
+
+    def test_zero_rate_identity(self, rng):
+        out = F.dropout(Tensor(np.ones(10)), 0.0, rng, training=True)
+        assert np.allclose(out.data, 1.0)
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(200_00))
+        out = F.dropout(x, 0.5, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, rng)
+
+    def test_gradient_masked(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones(100), requires_grad=True)
+        out = F.dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        dropped = out.data == 0.0
+        assert np.allclose(x.grad[dropped], 0.0)
+        assert np.allclose(x.grad[~dropped], 2.0)
+
+
+class TestGumbelSoftmax:
+    def test_output_is_distribution(self, rng):
+        out = F.gumbel_softmax(Tensor(np.zeros(5)), tau=0.5, rng=rng)
+        assert np.all(out.data >= 0) and abs(out.data.sum() - 1.0) < 1e-9
+
+    def test_low_temperature_near_onehot(self):
+        rng = np.random.default_rng(0)
+        out = F.gumbel_softmax(Tensor(np.zeros(5)), tau=0.01, rng=rng)
+        assert out.data.max() > 0.999
+
+    def test_hard_returns_exact_onehot(self, rng):
+        out = F.gumbel_softmax(Tensor(np.zeros(4)), tau=0.5, rng=rng, hard=True)
+        assert sorted(out.data.tolist()) == [0.0, 0.0, 0.0, 1.0]
+
+    def test_hard_straight_through_gradient_flows(self):
+        rng = np.random.default_rng(0)
+        alpha = Tensor(np.zeros(4), requires_grad=True)
+        out = F.gumbel_softmax(alpha, tau=0.5, rng=rng, hard=True)
+        (out * Tensor(np.arange(4.0))).sum().backward()
+        assert alpha.grad is not None and np.abs(alpha.grad).sum() > 0
+
+    def test_invalid_temperature_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.gumbel_softmax(Tensor(np.zeros(3)), tau=0.0, rng=rng)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_biased_alpha_dominates_sampling(self, seed):
+        # With a strongly biased alpha the argmax should usually match.
+        rng = np.random.default_rng(seed)
+        alpha = Tensor(np.array([5.0, 0.0, 0.0]))
+        hits = sum(
+            int(np.argmax(F.gumbel_softmax(alpha, 1.0, rng).data) == 0)
+            for _ in range(20)
+        )
+        assert hits >= 10
+
+    def test_gradient_direction_increases_selected_prob(self):
+        # Minimizing -phi[0] should raise alpha[0].
+        rng = np.random.default_rng(3)
+        alpha = Tensor(np.zeros(3), requires_grad=True)
+        loss = -F.gumbel_softmax(alpha, 1.0, rng)[0]
+        loss.backward()
+        assert alpha.grad[0] < 0  # gradient descent increases alpha[0]
+
+
+class TestUtilities:
+    def test_one_hot_shape_and_values(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_softmax_np_matches_tensor_softmax(self):
+        x = np.random.default_rng(0).normal(size=(2, 5))
+        assert np.allclose(F.softmax_np(x), F.softmax(Tensor(x)).data)

@@ -1,0 +1,179 @@
+"""Tests for standard layers: Linear, Embedding, MLP, norms, Bottleneck."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Bottleneck,
+    Dropout,
+    Embedding,
+    Identity,
+    Linear,
+    MLP,
+    StochNorm1d,
+    Tensor,
+)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((2, 4)))).data.sum() == 0.0
+
+    def test_gradients_reach_weight_and_bias(self, rng):
+        layer = Linear(2, 2, rng)
+        layer(Tensor(np.ones((3, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_deterministic_init(self):
+        a = Linear(4, 4, np.random.default_rng(7))
+        b = Linear(4, 4, np.random.default_rng(7))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 2, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_per_row(self, rng):
+        emb = Embedding(4, 2, rng)
+        emb(np.array([0, 0, 2])).sum().backward()
+        assert np.allclose(emb.weight.grad[0], 2.0)
+        assert np.allclose(emb.weight.grad[2], 1.0)
+        assert np.allclose(emb.weight.grad[1], 0.0)
+
+
+class TestMLP:
+    def test_hidden_relu_applied(self, rng):
+        mlp = MLP([2, 4, 1], rng)
+        assert mlp(Tensor(np.ones((3, 2)))).shape == (3, 1)
+
+    def test_requires_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([3], rng)
+
+    def test_activate_last(self, rng):
+        mlp = MLP([2, 2], rng, activate_last=True)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(10, 2))))
+        assert np.all(out.data >= 0)
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self):
+        bn = BatchNorm1d(3)
+        x = Tensor(np.random.default_rng(0).normal(5.0, 2.0, size=(64, 3)))
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm1d(2, momentum=0.5)
+        x = Tensor(np.full((8, 2), 10.0))
+        bn(x)
+        assert np.allclose(bn.running_mean, 5.0)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2)
+        bn.set_buffer("running_mean", np.array([1.0, 1.0]))
+        bn.set_buffer("running_var", np.array([4.0, 4.0]))
+        bn.eval()
+        out = bn(Tensor(np.array([[3.0, 3.0]])))
+        assert np.allclose(out.data, 1.0, atol=1e-2)
+
+    def test_single_row_uses_running_stats(self):
+        bn = BatchNorm1d(2)
+        out = bn(Tensor(np.array([[1.0, 2.0]])))
+        assert out.shape == (1, 2)
+
+    def test_gamma_beta_trainable(self):
+        bn = BatchNorm1d(2)
+        bn(Tensor(np.random.default_rng(1).normal(size=(4, 2)))).sum().backward()
+        assert bn.gamma.grad is not None and bn.beta.grad is not None
+
+
+class TestStochNorm:
+    def test_eval_matches_batchnorm_eval(self):
+        sn = StochNorm1d(3, p=0.5)
+        sn.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        out = sn(x)
+        assert out.shape == (4, 3)
+
+    def test_p_zero_equals_batch_stats(self):
+        rng_data = np.random.default_rng(0).normal(3.0, 1.0, size=(32, 2))
+        sn = StochNorm1d(2, p=0.0, rng=np.random.default_rng(1))
+        out = sn(Tensor(rng_data))
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_p_one_uses_running_stats(self):
+        sn = StochNorm1d(2, p=1.0, rng=np.random.default_rng(1))
+        x = Tensor(np.full((8, 2), 4.0))
+        out = sn(x)
+        # Running stats start at (0, 1): output = gamma*(4-0)/1 + beta = 4.
+        assert np.allclose(out.data, 4.0, atol=1e-2)
+
+    def test_running_stats_still_update(self):
+        sn = StochNorm1d(2, p=1.0, momentum=0.5, rng=np.random.default_rng(1))
+        sn(Tensor(np.full((8, 2), 10.0)))
+        assert np.allclose(sn.running_mean, 5.0)
+
+
+class TestBottleneck:
+    def test_zero_init_starts_as_zero_function(self, rng):
+        b = Bottleneck(8, 2, rng)
+        out = b(Tensor(np.random.default_rng(0).normal(size=(4, 8))))
+        assert np.allclose(out.data, 0.0)
+
+    def test_hidden_must_be_smaller(self, rng):
+        with pytest.raises(ValueError):
+            Bottleneck(4, 4, rng)
+
+    def test_parameter_count_is_small(self, rng):
+        d, m = 32, 4
+        b = Bottleneck(d, m, rng)
+        full = d * d + d
+        assert b.num_parameters() == (d * m + m) + (m * d + d)
+        assert b.num_parameters() < full / 2
+
+    def test_trains_away_from_zero(self, rng):
+        b = Bottleneck(4, 2, rng)
+        x = Tensor(np.ones((2, 4)))
+        b(x).sum().backward()
+        # down-projection receives gradient through the relu path only if
+        # up weight nonzero; up weight always receives gradient.
+        assert b.up.weight.grad is not None
+
+
+class TestDropoutModule:
+    def test_respects_training_flag(self):
+        d = Dropout(0.5, np.random.default_rng(0))
+        d.eval()
+        out = d(Tensor(np.ones(100)))
+        assert np.allclose(out.data, 1.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5, np.random.default_rng(0))
+
+
+class TestIdentityModule:
+    def test_passthrough(self):
+        x = Tensor([1.0, 2.0])
+        assert Identity()(x) is x

@@ -1,0 +1,157 @@
+"""Tests for the module system: registration, traversal, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleDict, ModuleList, Parameter, Sequential, Tensor
+
+
+class Leaf(Module):
+    def __init__(self, value=1.0):
+        super().__init__()
+        self.weight = Parameter(np.array([value]))
+
+    def forward(self, x):
+        return x * self.weight
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Leaf(1.0)
+        self.b = Leaf(2.0)
+        self.scale = Parameter(np.array([3.0]))
+
+    def forward(self, x):
+        return self.b(self.a(x)) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        names = [n for n, _ in Nested().named_parameters()]
+        assert set(names) == {"scale", "a.weight", "b.weight"}
+
+    def test_modules_traversal(self):
+        mods = dict(Nested().named_modules())
+        assert "" in mods and "a" in mods and "b" in mods
+
+    def test_num_parameters(self):
+        assert Nested().num_parameters() == 3
+
+    def test_buffers_registered(self):
+        m = Module()
+        m.register_buffer("stat", np.zeros(3))
+        assert any(name == "stat" for name, _ in m.named_buffers())
+
+    def test_set_buffer_unknown_raises(self):
+        m = Module()
+        with pytest.raises(KeyError):
+            m.set_buffer("nope", np.zeros(1))
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        n = Nested()
+        n.eval()
+        assert not n.a.training and not n.b.training
+        n.train()
+        assert n.a.training
+
+    def test_freeze_unfreeze(self):
+        n = Nested()
+        n.freeze()
+        assert all(not p.requires_grad for p in n.parameters())
+        n.unfreeze()
+        assert all(p.requires_grad for p in n.parameters())
+
+    def test_partial_freeze(self):
+        n = Nested()
+        n.a.freeze()
+        trainable = [name for name, p in n.named_parameters() if p.requires_grad]
+        assert "a.weight" not in trainable and "b.weight" in trainable
+
+    def test_zero_grad_clears(self):
+        n = Nested()
+        out = n(Tensor([1.0]))
+        out.backward()
+        assert n.scale.grad is not None
+        n.zero_grad()
+        assert n.scale.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        src, dst = Nested(), Nested()
+        src.scale.data[:] = 9.0
+        dst.load_state_dict(src.state_dict())
+        assert dst.scale.data[0] == 9.0
+
+    def test_strict_missing_key_raises(self):
+        n = Nested()
+        state = n.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            n.load_state_dict(state)
+
+    def test_non_strict_ignores_extra(self):
+        n = Nested()
+        state = n.state_dict()
+        state["ghost"] = np.zeros(1)
+        n.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        n = Nested()
+        state = n.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            n.load_state_dict(state)
+
+    def test_state_dict_copies_data(self):
+        n = Nested()
+        state = n.state_dict()
+        state["scale"][0] = 123.0
+        assert n.scale.data[0] != 123.0
+
+    def test_buffers_in_state_dict(self):
+        from repro.nn import BatchNorm1d
+
+        bn = BatchNorm1d(4)
+        state = bn.state_dict()
+        assert "buffer:running_mean" in state
+        bn2 = BatchNorm1d(4)
+        state["buffer:running_mean"] = np.full(4, 7.0)
+        bn2.load_state_dict(state)
+        assert np.allclose(bn2.running_mean, 7.0)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(Leaf(2.0), Leaf(3.0))
+        assert seq(Tensor([1.0])).item() == 6.0
+
+    def test_sequential_len_getitem_iter(self):
+        seq = Sequential(Leaf(), Leaf())
+        assert len(seq) == 2
+        assert isinstance(seq[0], Leaf)
+        assert len(list(seq)) == 2
+
+    def test_module_list_registers_params(self):
+        ml = ModuleList([Leaf(), Leaf()])
+        assert len(ml.parameters()) == 2
+        ml.append(Leaf())
+        assert len(ml.parameters()) == 3
+
+    def test_module_dict_access(self):
+        md = ModuleDict({"x": Leaf(1.0), "y": Leaf(2.0)})
+        assert "x" in md
+        assert md["y"].weight.data[0] == 2.0
+        assert set(md.keys()) == {"x", "y"}
+        assert len(md.values()) == 2
+        assert len(md.items()) == 2
+
+    def test_parameter_survives_no_grad_construction(self):
+        from repro.nn import no_grad
+
+        with no_grad():
+            p = Parameter(np.zeros(2))
+        assert p.requires_grad

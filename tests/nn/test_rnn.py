@@ -1,0 +1,72 @@
+"""Tests for LSTM cells (fusion / Set2Set substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, LSTMCell, Tensor
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell.initial_state(3)
+        h2, c2 = cell(Tensor(np.ones((3, 4))), h, c)
+        assert h2.shape == (3, 6) and c2.shape == (3, 6)
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = LSTMCell(2, 4, rng)
+        h, c = cell.initial_state(2)
+        h2, _ = cell(Tensor(np.full((2, 2), 100.0)), h, c)
+        assert np.all(np.abs(h2.data) <= 1.0)
+
+    def test_forget_bias_initialized_positive(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        assert np.allclose(cell.bias.data[3:6], 1.0)
+
+    def test_gradients_flow_to_weights(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        h, c = cell.initial_state(2)
+        h2, c2 = cell(Tensor(np.ones((2, 2))), h, c)
+        (h2.sum() + c2.sum()).backward()
+        assert cell.w_x.grad is not None and cell.w_h.grad is not None
+
+    def test_state_evolution_depends_on_input(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        h, c = cell.initial_state(1)
+        h_a, _ = cell(Tensor([[1.0, 0.0]]), h, c)
+        h_b, _ = cell(Tensor([[0.0, 1.0]]), h, c)
+        assert not np.allclose(h_a.data, h_b.data)
+
+
+class TestLSTM:
+    def test_unidirectional_output_count(self, rng):
+        lstm = LSTM(4, 6, rng)
+        steps = [Tensor(np.ones((2, 4))) for _ in range(5)]
+        outs = lstm(steps)
+        assert len(outs) == 5 and outs[0].shape == (2, 6)
+        assert lstm.output_dim == 6
+
+    def test_bidirectional_doubles_width(self, rng):
+        lstm = LSTM(4, 6, rng, bidirectional=True)
+        outs = lstm([Tensor(np.ones((2, 4))) for _ in range(3)])
+        assert outs[0].shape == (2, 12)
+        assert lstm.output_dim == 12
+
+    def test_empty_sequence_raises(self, rng):
+        with pytest.raises(ValueError):
+            LSTM(2, 2, rng)([])
+
+    def test_gradient_reaches_first_step(self, rng):
+        lstm = LSTM(3, 4, rng)
+        steps = [Tensor(np.ones((2, 3)), requires_grad=True) for _ in range(4)]
+        lstm(steps)[-1].sum().backward()
+        assert steps[0].grad is not None and np.abs(steps[0].grad).sum() > 0
+
+    def test_backward_direction_sees_future(self, rng):
+        lstm = LSTM(2, 3, rng, bidirectional=True)
+        base = [Tensor(np.zeros((1, 2))) for _ in range(3)]
+        out_base = lstm(base)[0].data.copy()
+        changed = [Tensor(np.zeros((1, 2))) for _ in range(2)] + [Tensor(np.ones((1, 2)))]
+        out_changed = lstm(changed)[0].data
+        # First-step output must change when the LAST input changes (bwd pass).
+        assert not np.allclose(out_base, out_changed)

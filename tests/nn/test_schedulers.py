@@ -1,0 +1,91 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, CosineAnnealingLR, Parameter, SGD, StepLR, WarmupLR
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_applies_to_optimizer(self):
+        opt = make_opt(1.0)
+        StepLR(opt, step_size=1, gamma=0.5).step()
+        assert opt.lr == 0.5
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+
+class TestCosine:
+    def test_starts_high_ends_at_min(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.1)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_t_max(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=3)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.0)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), t_max=0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        opt = make_opt(1.0)
+        sched = WarmupLR(opt, warmup_epochs=4)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_constant_after_warmup_without_inner(self):
+        opt = make_opt(1.0)
+        sched = WarmupLR(opt, warmup_epochs=2)
+        for _ in range(5):
+            last = sched.step()
+        assert last == pytest.approx(1.0)
+
+    def test_delegates_to_inner_after_warmup(self):
+        opt = make_opt(1.0)
+        inner = StepLR(opt, step_size=1, gamma=0.5)
+        sched = WarmupLR(opt, warmup_epochs=2, after=inner)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs[:2] == pytest.approx([0.5, 1.0])
+        assert lrs[2] == pytest.approx(0.5)  # inner epoch 1
+        assert lrs[3] == pytest.approx(0.25)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            WarmupLR(make_opt(), warmup_epochs=0)
+
+
+class TestWithAdam:
+    def test_scheduler_affects_training_step_size(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.5)
+        sched = StepLR(opt, step_size=1, gamma=0.0)  # lr -> 0 after 1 epoch
+        (p * p).sum().backward()
+        opt.step()
+        first_move = 10.0 - p.data[0]
+        sched.step()
+        before = p.data[0]
+        (p * p).sum().backward()
+        opt.step()
+        assert abs(p.data[0] - before) < abs(first_move) * 1e-6

@@ -1,0 +1,59 @@
+"""Tests for checkpoint save/load."""
+
+import os
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm1d,
+    Linear,
+    Sequential,
+    load_checkpoint,
+    load_state_dict,
+    save_checkpoint,
+    save_state_dict,
+)
+
+
+def test_state_dict_roundtrip(tmp_path, rng):
+    model = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+    path = str(tmp_path / "model.npz")
+    save_state_dict(model.state_dict(), path)
+    loaded = load_state_dict(path)
+    fresh = Sequential(Linear(3, 4, np.random.default_rng(99)), Linear(4, 2, np.random.default_rng(98)))
+    fresh.load_state_dict(loaded)
+    for (_, a), (_, b) in zip(model.named_parameters(), fresh.named_parameters()):
+        assert np.allclose(a.data, b.data)
+
+
+def test_checkpoint_metadata_roundtrip(tmp_path, rng):
+    model = Linear(2, 2, rng)
+    path = str(tmp_path / "ckpt.npz")
+    save_checkpoint(model.state_dict(), {"method": "test", "epochs": 3}, path)
+    state, meta = load_checkpoint(path)
+    assert meta["method"] == "test" and meta["epochs"] == 3
+    assert "weight" in state
+
+
+def test_checkpoint_without_metadata_file(tmp_path, rng):
+    model = Linear(2, 2, rng)
+    path = str(tmp_path / "bare.npz")
+    save_state_dict(model.state_dict(), path)
+    state, meta = load_checkpoint(path)
+    assert meta == {} and "weight" in state
+
+
+def test_buffers_serialized(tmp_path):
+    bn = BatchNorm1d(3)
+    bn.set_buffer("running_mean", np.array([1.0, 2.0, 3.0]))
+    path = str(tmp_path / "bn.npz")
+    save_state_dict(bn.state_dict(), path)
+    bn2 = BatchNorm1d(3)
+    bn2.load_state_dict(load_state_dict(path))
+    assert np.allclose(bn2.running_mean, [1.0, 2.0, 3.0])
+
+
+def test_creates_parent_directories(tmp_path, rng):
+    path = str(tmp_path / "a" / "b" / "model.npz")
+    save_state_dict(Linear(2, 2, rng).state_dict(), path)
+    assert os.path.exists(path)

@@ -1,0 +1,373 @@
+"""Tests for the autograd engine: ops, broadcasting, and exact adjoints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    gather,
+    no_grad,
+    segment_max,
+    segment_mean,
+    segment_sum,
+    stack,
+    where,
+)
+from tests.conftest import gradcheck
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.data.dtype == np.float64
+
+    def test_construction_from_tensor_shares_semantics(self):
+        t = Tensor([1.0, 2.0])
+        u = Tensor(t)
+        assert np.array_equal(u.data, t.data)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_detach_severs_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+        assert y._prev == ()
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_copy_independent(self):
+        t = Tensor([1.0])
+        c = t.copy()
+        c.data[0] = 9.0
+        assert t.data[0] == 1.0
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = Tensor([3.0, 4.0], requires_grad=True)
+        (x + y).sum().backward()
+        assert np.allclose(x.grad, [1, 1])
+        assert np.allclose(y.grad, [1, 1])
+
+    def test_radd_scalar(self):
+        x = Tensor([1.0], requires_grad=True)
+        (2.0 + x).backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_sub_and_rsub(self):
+        x = Tensor([5.0], requires_grad=True)
+        (10.0 - x).backward()
+        assert np.allclose(x.grad, [-1.0])
+
+    def test_mul_backward(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = Tensor([3.0], requires_grad=True)
+        (x * y).backward()
+        assert np.allclose(x.grad, [3.0])
+        assert np.allclose(y.grad, [2.0])
+
+    def test_div_backward(self):
+        gradcheck(lambda x: (x / 2.5).sum(), np.array([1.0, -2.0, 3.0]))
+
+    def test_rdiv(self):
+        gradcheck(lambda x: (1.0 / x).sum(), np.array([1.0, 2.0, 4.0]))
+
+    def test_pow_backward(self):
+        gradcheck(lambda x: (x ** 3).sum(), np.array([1.0, -2.0, 0.5]))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_neg(self):
+        x = Tensor([1.0], requires_grad=True)
+        (-x).backward()
+        assert np.allclose(x.grad, [-1.0])
+
+    def test_matmul_2d(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(3, 2))
+        gradcheck(lambda x: (x @ Tensor(w)).sum(), rng.normal(size=(4, 3)))
+
+    def test_matmul_grad_wrt_rhs(self):
+        x = Tensor(np.ones((2, 3)))
+        w = Tensor(np.ones((3, 2)), requires_grad=True)
+        (x @ w).sum().backward()
+        assert np.allclose(w.grad, 2.0 * np.ones((3, 2)))
+
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0 + x * 3.0).backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestBroadcasting:
+    def test_add_broadcast_bias(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        assert np.allclose(b.grad, [4, 4, 4])
+
+    def test_mul_broadcast_column(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        c = Tensor(np.ones((4, 1)), requires_grad=True)
+        (x * c).sum().backward()
+        assert c.grad.shape == (4, 1)
+        assert np.allclose(c.grad, 3.0)
+
+    def test_scalar_broadcast(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        s = Tensor(2.0, requires_grad=True)
+        (x * s).sum().backward()
+        assert np.allclose(s.grad, 4.0)
+
+    @given(rows=st.integers(1, 5), cols=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_broadcast_grad_shapes_match(self, rows, cols):
+        x = Tensor(np.ones((rows, cols)), requires_grad=True)
+        b = Tensor(np.ones(cols), requires_grad=True)
+        ((x + b) * 2.0).sum().backward()
+        assert x.grad.shape == (rows, cols)
+        assert b.grad.shape == (cols,)
+        assert np.allclose(b.grad, 2.0 * rows)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("fn_name", ["exp", "tanh", "sigmoid", "relu", "abs", "sqrt"])
+    def test_gradcheck_unary(self, fn_name):
+        data = np.array([0.5, 1.5, 2.5, 0.1])  # positive for sqrt/log safety
+        gradcheck(lambda x: getattr(x, fn_name)().sum(), data)
+
+    def test_log_gradcheck(self):
+        gradcheck(lambda x: x.log().sum(), np.array([0.5, 1.0, 3.0]))
+
+    def test_relu_kills_negative_grad(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+    def test_leaky_relu_slope(self):
+        x = Tensor([-2.0, 2.0], requires_grad=True)
+        x.leaky_relu(0.1).sum().backward()
+        assert np.allclose(x.grad, [0.1, 1.0])
+
+    def test_clip_gradient_mask(self):
+        x = Tensor([-5.0, 0.5, 5.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_range(self):
+        out = Tensor([-100.0, 0.0, 100.0]).sigmoid().data
+        assert out[0] >= 0 and out[2] <= 1 and abs(out[1] - 0.5) < 1e-12
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_gradient_scaled(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 1.0 / 8.0)
+
+    def test_mean_axis(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(x.mean(axis=0).data, [1.5, 2.5, 3.5])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_max_axis_gradcheck(self):
+        rng = np.random.default_rng(1)
+        gradcheck(lambda x: x.max(axis=0).sum(), rng.normal(size=(4, 3)))
+
+    def test_min_is_neg_max(self):
+        x = Tensor([3.0, -1.0, 2.0], requires_grad=True)
+        out = x.min()
+        assert out.item() == -1.0
+        out.backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestShapes:
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_reshape_accepts_tuple(self):
+        assert Tensor(np.arange(6.0)).reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        (x.T * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        assert x.grad.shape == (2, 3)
+
+    def test_expand_squeeze(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        x.expand_dims(0).squeeze(0).sum().backward()
+        assert np.allclose(x.grad, [1, 1, 1])
+
+    def test_flatten(self):
+        assert Tensor(np.ones((2, 3))).flatten().shape == (6,)
+
+    def test_getitem_slice_grad(self):
+        x = Tensor(np.arange(10.0), requires_grad=True)
+        x[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_getitem_fancy_repeated_indices_accumulate(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        x[np.array([0, 0, 1])].sum().backward()
+        assert np.allclose(x.grad, [2.0, 1.0, 0.0, 0.0])
+
+
+class TestStructuralOps:
+    def test_concat_axis0_and_axis1(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((2, 2)), requires_grad=True)
+        assert concatenate([a, b], axis=0).shape == (4, 2)
+        concatenate([a, b], axis=1).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_stack_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        (out * Tensor([[1.0, 2.0], [3.0, 4.0]])).sum().backward()
+        assert np.allclose(a.grad, [1.0, 2.0])
+        assert np.allclose(b.grad, [3.0, 4.0])
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False])
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_gather_forward(self):
+        x = Tensor(np.arange(8.0).reshape(4, 2))
+        out = gather(x, np.array([3, 0]))
+        assert np.allclose(out.data, [[6, 7], [0, 1]])
+
+    def test_gather_scatter_adjoint(self):
+        x = Tensor(np.arange(8.0).reshape(4, 2), requires_grad=True)
+        gather(x, np.array([1, 1, 2])).sum().backward()
+        assert np.allclose(x.grad[:, 0], [0, 2, 1, 0])
+
+    def test_segment_sum_forward(self):
+        x = Tensor(np.ones((4, 2)))
+        out = segment_sum(x, np.array([0, 0, 1, 1]), 2)
+        assert np.allclose(out.data, [[2, 2], [2, 2]])
+
+    def test_segment_sum_empty_segment_zero(self):
+        x = Tensor(np.ones((2, 1)))
+        out = segment_sum(x, np.array([0, 2]), 3)
+        assert np.allclose(out.data.ravel(), [1, 0, 1])
+
+    def test_segment_mean_divides_by_count(self):
+        x = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        out = segment_mean(x, np.array([0, 0, 1]), 2)
+        assert np.allclose(out.data.ravel(), [3.0, 6.0])
+
+    def test_segment_max_forward_and_grad(self):
+        x = Tensor(np.array([[1.0], [5.0], [3.0]]), requires_grad=True)
+        out = segment_max(x, np.array([0, 0, 1]), 2)
+        assert np.allclose(out.data.ravel(), [5.0, 3.0])
+        out.sum().backward()
+        assert np.allclose(x.grad.ravel(), [0.0, 1.0, 1.0])
+
+    @given(
+        n=st.integers(2, 12),
+        segs=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_segment_sum_equals_loop(self, n, segs, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        ids = rng.integers(0, segs, size=n)
+        out = segment_sum(Tensor(x), ids, segs).data
+        for s in range(segs):
+            assert np.allclose(out[s], x[ids == s].sum(axis=0))
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_segment_ops_gradcheck(self, seed):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 3, size=6)
+        data = rng.normal(size=(6, 2))
+        gradcheck(lambda x: (segment_sum(x, ids, 3) ** 2).sum(), data.copy())
+        gradcheck(lambda x: segment_max(x, ids, 3).sum(), data.copy(), tol=1e-4)
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_tape(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_nests(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not Tensor([1.0], requires_grad=True).requires_grad
+
+    def test_grad_restored_after_context(self):
+        with no_grad():
+            pass
+        assert Tensor([1.0], requires_grad=True).requires_grad
+
+
+class TestDeepGraphs:
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_diamond_graph_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a * b).backward()  # d/dx 12x^2 = 24x = 48
+        assert np.allclose(x.grad, [48.0])

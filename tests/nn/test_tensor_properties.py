@@ -1,0 +1,114 @@
+"""Property-based tests for the autograd engine (hypothesis).
+
+These check algebraic identities of differentiation that must hold for ANY
+input, complementing the pointwise finite-difference checks in
+``test_tensor.py``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concatenate, gather, segment_mean, segment_sum
+
+
+def arrays(min_rows=1, max_rows=6, min_cols=1, max_cols=5):
+    return st.builds(
+        lambda seed, r, c: np.random.default_rng(seed).normal(size=(r, c)),
+        st.integers(0, 10_000),
+        st.integers(min_rows, max_rows),
+        st.integers(min_cols, max_cols),
+    )
+
+
+class TestLinearity:
+    @given(data=arrays(), scale=st.floats(-3, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_of_scaled_sum_is_constant(self, data, scale):
+        x = Tensor(data, requires_grad=True)
+        (x * scale).sum().backward()
+        assert np.allclose(x.grad, scale)
+
+    @given(data=arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_grad_of_sum_of_two_paths_adds(self, data):
+        """d/dx [f(x) + g(x)] == d/dx f(x) + d/dx g(x)."""
+        x1 = Tensor(data.copy(), requires_grad=True)
+        (x1 * 2.0).sum().backward()
+        g_f = x1.grad.copy()
+
+        x2 = Tensor(data.copy(), requires_grad=True)
+        (x2 ** 2).sum().backward()
+        g_g = x2.grad.copy()
+
+        x3 = Tensor(data.copy(), requires_grad=True)
+        ((x3 * 2.0).sum() + (x3 ** 2).sum()).backward()
+        assert np.allclose(x3.grad, g_f + g_g)
+
+    @given(data=arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_backward_seed_scales_gradient(self, data):
+        x1 = Tensor(data.copy(), requires_grad=True)
+        (x1.tanh()).sum().backward()
+        base = x1.grad.copy()
+
+        x2 = Tensor(data.copy(), requires_grad=True)
+        out = x2.tanh().sum()
+        out.backward(np.array(3.0))
+        assert np.allclose(x2.grad, 3.0 * base)
+
+
+class TestStructuralIdentities:
+    @given(data=arrays(min_rows=2))
+    @settings(max_examples=30, deadline=None)
+    def test_concat_then_split_grad_identity(self, data):
+        """Sum after concat along rows == sum of parts; grads are all ones."""
+        a = Tensor(data.copy(), requires_grad=True)
+        b = Tensor(data.copy(), requires_grad=True)
+        concatenate([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0) and np.allclose(b.grad, 1.0)
+
+    @given(data=arrays(min_rows=3), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_gather_of_all_rows_is_identity(self, data, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(data.shape[0])
+        x = Tensor(data, requires_grad=True)
+        out = gather(x, perm)
+        assert np.allclose(out.data, data[perm])
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)  # each row gathered exactly once
+
+    @given(data=arrays(min_rows=2), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_segment_sum_total_preserved(self, data, seed):
+        rng = np.random.default_rng(seed)
+        segs = rng.integers(0, 3, size=data.shape[0])
+        out = segment_sum(Tensor(data), segs, 3)
+        assert np.allclose(out.data.sum(axis=0), data.sum(axis=0))
+
+    @given(data=arrays(min_rows=2))
+    @settings(max_examples=30, deadline=None)
+    def test_segment_mean_of_single_segment_is_mean(self, data):
+        segs = np.zeros(data.shape[0], dtype=np.int64)
+        out = segment_mean(Tensor(data), segs, 1)
+        assert np.allclose(out.data[0], data.mean(axis=0))
+
+
+class TestChainRule:
+    @given(data=arrays(max_rows=4, max_cols=3))
+    @settings(max_examples=30, deadline=None)
+    def test_composition_matches_manual_chain(self, data):
+        """d/dx sum(sigmoid(x)^2) == 2 sigmoid(x) sigmoid'(x)."""
+        x = Tensor(data, requires_grad=True)
+        (x.sigmoid() ** 2).sum().backward()
+        s = 1.0 / (1.0 + np.exp(-data))
+        expected = 2.0 * s * s * (1.0 - s)
+        assert np.allclose(x.grad, expected, atol=1e-10)
+
+    @given(data=arrays(max_rows=4, max_cols=3))
+    @settings(max_examples=30, deadline=None)
+    def test_detach_blocks_chain(self, data):
+        x = Tensor(data, requires_grad=True)
+        (x.detach() * 2.0 + x).sum().backward()
+        assert np.allclose(x.grad, 1.0)  # only the non-detached path counts

@@ -1,0 +1,178 @@
+"""Tests for the 10 SSL pre-training tasks: losses, gradients, learning."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GNNEncoder
+from repro.graph import zinc_corpus
+from repro.nn import Adam
+from repro.pretrain import (
+    PRETRAIN_CATEGORIES,
+    PRETRAIN_METHODS,
+    mask_batch_atoms,
+    mean_pool_graphs,
+    normalize_rows,
+    nt_xent_loss,
+    pretrain,
+)
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return zinc_corpus(size=24, seed=7)
+
+
+def fresh_encoder():
+    return GNNEncoder("gin", num_layers=2, emb_dim=12, dropout=0.0, seed=0)
+
+
+class TestAllTasks:
+    @pytest.mark.parametrize("name", list(PRETRAIN_METHODS))
+    def test_loss_is_finite_scalar(self, name, corpus):
+        task = PRETRAIN_METHODS[name](fresh_encoder(), seed=0)
+        loss = task.loss(corpus[:8], np.random.default_rng(0))
+        assert loss.data.size == 1 and np.isfinite(loss.item())
+
+    @pytest.mark.parametrize("name", list(PRETRAIN_METHODS))
+    def test_gradient_reaches_encoder(self, name, corpus):
+        task = PRETRAIN_METHODS[name](fresh_encoder(), seed=0)
+        task.loss(corpus[:8], np.random.default_rng(0)).backward()
+        grads = [p.grad for p in task.encoder.parameters() if p.grad is not None]
+        assert grads and any(np.abs(g).sum() > 0 for g in grads), name
+
+    @pytest.mark.parametrize("name", list(PRETRAIN_METHODS))
+    def test_loss_decreases_with_training(self, name, corpus):
+        # SSL objectives resample masks/views each batch, so epoch losses are
+        # noisy; compare the loss on a FIXED (graphs, rng) probe before vs
+        # after training for a deterministic improvement check.
+        task = PRETRAIN_METHODS[name](fresh_encoder(), seed=0)
+        probe = corpus[:12]
+        before = task.loss(probe, np.random.default_rng(123)).item()
+        history = pretrain(task, corpus, epochs=10, batch_size=12, lr=3e-3, seed=0)
+        assert len(history) == 10
+        after = task.loss(probe, np.random.default_rng(123)).item()
+        assert after < before + 1e-6, (name, before, after)
+
+    @pytest.mark.parametrize("name", list(PRETRAIN_METHODS))
+    def test_deterministic_given_seed(self, name, corpus):
+        a = PRETRAIN_METHODS[name](fresh_encoder(), seed=0)
+        b = PRETRAIN_METHODS[name](fresh_encoder(), seed=0)
+        la = a.loss(corpus[:6], np.random.default_rng(3)).item()
+        lb = b.loss(corpus[:6], np.random.default_rng(3)).item()
+        assert la == pytest.approx(lb)
+
+    def test_categories_cover_paper_taxonomy(self):
+        assert set(PRETRAIN_CATEGORIES.values()) == {"AE", "AM", "MCM", "CP", "CL"}
+        assert PRETRAIN_CATEGORIES["contextpred"] == "CP"
+        assert PRETRAIN_CATEGORIES["mgssl"] == "AM"
+        assert PRETRAIN_CATEGORIES["molebert"] == "MCM"
+        assert PRETRAIN_CATEGORIES["graphmae"] == "AE"
+        assert PRETRAIN_CATEGORIES["graphcl"] == "CL"
+
+    def test_exactly_ten_methods(self):
+        assert len(PRETRAIN_METHODS) == 10
+
+
+class TestBuildingBlocks:
+    def test_normalize_rows_unit_norm(self, rng):
+        z = normalize_rows(Tensor(rng.normal(size=(5, 4))))
+        assert np.allclose(np.linalg.norm(z.data, axis=1), 1.0)
+
+    def test_nt_xent_identical_views_low_loss(self, rng):
+        z = Tensor(rng.normal(size=(6, 8)))
+        loss_same = nt_xent_loss(z, z, temperature=0.1).item()
+        other = Tensor(rng.normal(size=(6, 8)))
+        loss_diff = nt_xent_loss(z, other, temperature=0.1).item()
+        assert loss_same < loss_diff
+
+    def test_nt_xent_symmetric_gradient(self, rng):
+        z1 = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        z2 = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        nt_xent_loss(z1, z2).backward()
+        assert z1.grad is not None and z2.grad is not None
+
+    def test_mask_batch_atoms_masks_at_least_one(self, corpus):
+        from repro.graph import Batch, MASK_ATOM_ID
+
+        batch = Batch(corpus[:2])
+        original = batch.x.copy()
+        masked = mask_batch_atoms(batch, np.random.default_rng(0), mask_rate=0.01)
+        assert len(masked) >= 1
+        assert np.all(batch.x[masked, 0] == MASK_ATOM_ID)
+        # Original graphs untouched (Batch.x was copied on write).
+        assert np.array_equal(original[masked, 1], batch.x[masked, 1])
+
+    def test_mean_pool_shape(self, corpus):
+        from repro.graph import Batch
+
+        batch = Batch(corpus[:3])
+        enc = fresh_encoder()
+        pooled = mean_pool_graphs(enc(batch)[-1], batch)
+        assert pooled.shape == (3, 12)
+
+
+class TestSpecificBehaviours:
+    def test_contextpred_context_ring_excludes_center(self, corpus):
+        from repro.graph import Batch
+        from repro.pretrain import ContextPredTask
+
+        batch = Batch(corpus[:3])
+        centers = batch.node_offsets[:-1].copy()
+        nodes, owners = ContextPredTask._context_ring(batch, centers)
+        for node, owner in zip(nodes, owners):
+            assert node != centers[owner]
+
+    def test_mgssl_bfs_order_starts_at_root(self, corpus):
+        from repro.pretrain import MGSSLTask
+
+        order = MGSSLTask._bfs_order(corpus[0], root=2)
+        assert order[0] == 2
+        assert sorted(order) == list(range(corpus[0].num_nodes))
+
+    def test_simgrace_restores_weights_after_perturbation(self, corpus):
+        from repro.pretrain import SimGRACETask
+
+        task = SimGRACETask(fresh_encoder(), seed=0)
+        before = [p.data.copy() for p in task.encoder.parameters()]
+        task.loss(corpus[:6], np.random.default_rng(0))
+        after = [p.data for p in task.encoder.parameters()]
+        for b, a in zip(before, after):
+            assert np.array_equal(b, a)
+
+    def test_molebert_codes_context_dependent(self, corpus):
+        from repro.graph import Batch
+        from repro.pretrain import MoleBERTTask
+
+        task = MoleBERTTask(fresh_encoder(), seed=0, codebook_size=16)
+        batch = Batch(corpus[:6])
+        codes = task._tokenize(batch)
+        assert codes.shape == (batch.num_nodes,)
+        assert codes.max() < 16
+        # Context-awareness: more distinct codes than raw atom types on
+        # carbon-dominated graphs.
+        carbons = batch.x[:, 0] == 0
+        if carbons.sum() > 4:
+            assert len(np.unique(codes[carbons])) > 1
+
+    def test_molebert_tokenizer_frozen(self, corpus):
+        from repro.pretrain import MoleBERTTask
+
+        task = MoleBERTTask(fresh_encoder(), seed=0)
+        assert all(not p.requires_grad for p in task.tokenizer.parameters())
+
+    def test_graphmae_remask_token_trainable(self, corpus):
+        from repro.pretrain import GraphMAETask
+
+        task = GraphMAETask(fresh_encoder(), seed=0)
+        task.loss(corpus[:6], np.random.default_rng(0)).backward()
+        assert task.remask_token.grad is not None
+
+    def test_edgepred_negatives_within_graph(self, corpus):
+        # Structural property asserted implicitly; here just run the loss on
+        # graphs of very different sizes to exercise the offset arithmetic.
+        from repro.pretrain import EdgePredTask
+
+        task = EdgePredTask(fresh_encoder(), seed=0)
+        loss = task.loss(corpus[:10], np.random.default_rng(0))
+        assert np.isfinite(loss.item())

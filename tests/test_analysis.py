@@ -1,0 +1,79 @@
+"""Tests for strategy analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    candidate_frequencies,
+    dimension_agreement,
+    spec_distance,
+    summarize_specs,
+)
+from repro.core import FineTuneStrategySpec
+
+
+def spec(ids, fuse, read):
+    return FineTuneStrategySpec(identity=tuple(ids), fusion=fuse, readout=read)
+
+
+VANILLA = spec(["zero_aug"] * 3, "last", "mean")
+RICH = spec(["identity_aug", "trans_aug", "zero_aug"], "lstm", "set2set")
+
+
+class TestFrequencies:
+    def test_normalized_per_dimension(self):
+        freq = candidate_frequencies([VANILLA, RICH])
+        for dim in ("identity", "fusion", "readout"):
+            assert sum(freq[dim].values()) == pytest.approx(1.0)
+
+    def test_counts_identity_across_layers(self):
+        freq = candidate_frequencies([VANILLA])
+        assert freq["identity"] == {"zero_aug": 1.0}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            candidate_frequencies([])
+
+
+class TestAgreement:
+    def test_identical_specs_full_agreement(self):
+        agreement = dimension_agreement([VANILLA, VANILLA])
+        assert agreement == {"identity": 1.0, "fusion": 1.0, "readout": 1.0}
+
+    def test_disjoint_specs_zero_agreement(self):
+        agreement = dimension_agreement([VANILLA, RICH])
+        assert agreement["fusion"] == 0.0
+        assert agreement["readout"] == 0.0
+        assert agreement["identity"] == pytest.approx(1 / 3)  # zero_aug matches once
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            dimension_agreement([VANILLA])
+
+
+class TestDistance:
+    def test_zero_for_identical(self):
+        assert spec_distance(VANILLA, VANILLA) == 0.0
+
+    def test_one_for_fully_different(self):
+        other = spec(["identity_aug"] * 3, "mean", "sum")
+        assert spec_distance(VANILLA, other) == 1.0
+
+    def test_symmetric(self):
+        assert spec_distance(VANILLA, RICH) == spec_distance(RICH, VANILLA)
+
+    def test_depth_mismatch_raises(self):
+        shallow = spec(["zero_aug"], "last", "mean")
+        with pytest.raises(ValueError):
+            spec_distance(VANILLA, shallow)
+
+
+class TestSummary:
+    def test_mentions_datasets_and_agreement(self):
+        text = summarize_specs({"bbbp": [VANILLA], "esol": [RICH]})
+        assert "bbbp" in text and "esol" in text
+        assert "agreement" in text
+        assert "Most selected" in text
+
+    def test_single_spec_no_agreement_block(self):
+        text = summarize_specs({"bbbp": [VANILLA]})
+        assert "agreement" not in text

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table6"])
+        assert args.tier == "bench" and args.datasets is None
+
+    def test_tier_choices(self):
+        args = build_parser().parse_args(["table7", "--tier", "smoke"])
+        assert args.tier == "smoke"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table7", "--tier", "gpu"])
+
+    def test_dataset_restriction(self):
+        args = build_parser().parse_args(["table9", "--datasets", "bbbp", "bace"])
+        assert args.datasets == ["bbbp", "bace"]
+
+
+class TestExecution:
+    def test_space_target(self, capsys):
+        assert main(["space"]) == 0
+        out = capsys.readouterr().out
+        assert "10,206" in out
+
+    def test_table7_smoke_restricted(self, capsys):
+        code = main(["table7", "--tier", "smoke", "--datasets", "bbbp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table VII" in out
+        assert "s2pgnn" in out
+        assert "bbbp" in out
+
+    def test_table11_smoke_restricted(self, capsys):
+        code = main(["table11", "--tier", "smoke", "--datasets", "bbbp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seconds per epoch" in out

@@ -1,0 +1,49 @@
+"""Sanity checks on the example scripts (compile + structural contracts).
+
+Full execution of the examples takes minutes; here we verify they compile,
+import only public API, and each defines a ``main`` entry point.  The
+examples themselves are exercised end-to-end in the recorded runs.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_has_main_and_guard(path):
+    tree = ast.parse(path.read_text())
+    func_names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in func_names, f"{path.name} lacks a main()"
+    assert '__main__' in path.read_text(), f"{path.name} lacks a __main__ guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_only_public_package(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            assert root in {"repro", "numpy", "os", "tempfile"}, (
+                f"{path.name} imports unexpected module {node.module}"
+            )
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_has_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"

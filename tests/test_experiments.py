@@ -1,0 +1,132 @@
+"""Tests for the experiments harness: configs, runners, formatters."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BENCH_SCALE,
+    SMOKE_SCALE,
+    Scale,
+    average_gain,
+    run_s2pgnn,
+    run_strategy,
+    run_table9,
+    run_table11,
+)
+from repro.experiments.configs import (
+    CLASSIFICATION_DATASETS,
+    REGRESSION_DATASETS,
+    TABLE6_DATASETS,
+    TABLE6_PRETRAIN_METHODS,
+    TABLE8_STRATEGIES,
+)
+from repro.experiments.tables import format_table7, format_table9, format_table11
+
+
+class TestConfigs:
+    def test_table6_covers_all_paper_rows(self):
+        assert len(TABLE6_PRETRAIN_METHODS) == 10
+        assert len(TABLE6_DATASETS) == 8
+        assert set(REGRESSION_DATASETS) == {"esol", "lipo"}
+        assert len(CLASSIFICATION_DATASETS) == 6
+
+    def test_table8_covers_paper_variants(self):
+        names = [(n, tuple(sorted(kw.items()))) for n, kw in TABLE8_STRATEGIES]
+        ks = [kw["k"] for n, kw in TABLE8_STRATEGIES if n == "last_k"]
+        ms = [kw["adapter_dim"] for n, kw in TABLE8_STRATEGIES if n == "adapter"]
+        assert sorted(ks) == [1, 2, 3]
+        assert sorted(ms) == [2, 4, 8]
+
+    def test_scales_preserve_layer_count(self):
+        # K=5 keeps the 10,206-strategy space; only smoke shrinks it.
+        assert BENCH_SCALE.num_layers == 5
+        assert SMOKE_SCALE.num_layers < BENCH_SCALE.num_layers
+
+    def test_toxcast_task_override(self):
+        kwargs = BENCH_SCALE.dataset_kwargs("toxcast")
+        assert kwargs["num_tasks"] == BENCH_SCALE.toxcast_tasks
+        assert "num_tasks" not in BENCH_SCALE.dataset_kwargs("bbbp")
+
+
+class TestGain:
+    def test_classification_gain_positive_when_improved(self):
+        base = {"mean": 0.70, "metric": "roc_auc"}
+        ours = {"mean": 0.77, "metric": "roc_auc"}
+        assert average_gain(base, ours) == pytest.approx(0.1)
+
+    def test_regression_gain_positive_when_rmse_drops(self):
+        base = {"mean": 2.0, "metric": "rmse"}
+        ours = {"mean": 1.5, "metric": "rmse"}
+        assert average_gain(base, ours) == pytest.approx(0.25)
+
+    def test_metric_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            average_gain({"mean": 1, "metric": "rmse"}, {"mean": 1, "metric": "roc_auc"})
+
+
+class TestRunners:
+    def test_run_strategy_output_contract(self):
+        out = run_strategy("vanilla", "edgepred", "bbbp", scale=SMOKE_SCALE)
+        assert set(out) >= {"mean", "std", "seconds_per_epoch", "scores", "metric"}
+        assert len(out["scores"]) == len(SMOKE_SCALE.seeds)
+
+    def test_run_s2pgnn_records_specs(self):
+        out = run_s2pgnn("edgepred", "bbbp", scale=SMOKE_SCALE)
+        assert len(out["specs"]) == len(SMOKE_SCALE.seeds)
+        assert all("fuse=" in s for s in out["specs"])
+
+    def test_run_table9_has_all_variants(self):
+        out = run_table9(["bbbp"], scale=SMOKE_SCALE)
+        assert set(out) == {"full", "no_id", "no_fuse", "no_read"}
+        assert "avg_drop" in out["no_fuse"]
+
+    def test_run_table11_reports_seconds(self):
+        out = run_table11(["vanilla"], ["bbbp"], scale=SMOKE_SCALE)
+        assert out["vanilla"]["bbbp"] > 0
+        assert out["vanilla"]["avg"] > 0
+
+
+class TestFormatters:
+    def test_format_table7_layout(self):
+        results = {
+            "vanilla": {"bbbp": {"mean": 0.7, "std": 0.01, "metric": "roc_auc"},
+                        "avg": 0.7},
+            "s2pgnn": {"bbbp": {"mean": 0.75, "std": 0.02, "metric": "roc_auc"},
+                       "avg": 0.75},
+        }
+        text = format_table7(results, ["bbbp"])
+        assert "Table VII" in text
+        assert "70.0" in text and "75.0" in text
+
+    def test_format_table9_marks_drops(self):
+        results = {
+            "full": {"bbbp": {"mean": 0.8, "std": 0.0, "metric": "roc_auc"}},
+            "no_id": {"bbbp": {"mean": 0.7, "std": 0.0, "metric": "roc_auc"},
+                      "avg_drop": -0.125},
+        }
+        text = format_table9(results, ["bbbp"])
+        assert "-12.5%" in text
+
+    def test_format_table11_seconds(self):
+        results = {"vanilla": {"bbbp": 0.123, "avg": 0.123}}
+        text = format_table11(results, ["bbbp"])
+        assert "0.123" in text
+
+
+class TestFormatTable10:
+    def test_backbone_row_labels_clean(self):
+        results = {
+            "gcn": {
+                "bbbp": {
+                    "vanilla": {"mean": 0.6, "std": 0.01, "metric": "roc_auc"},
+                    "s2pgnn": {"mean": 0.7, "std": 0.01, "metric": "roc_auc"},
+                },
+                "avg_gain": 0.1,
+            }
+        }
+        from repro.experiments.tables import format_table10
+
+        text = format_table10(results, ["bbbp"])
+        assert "contextpred(gcn)" in text
+        assert ":<24" not in text  # regression: format spec must not leak
+        assert "+10.0%" in text

@@ -1,0 +1,121 @@
+"""Tests for evaluation metrics (ROC-AUC, RMSE, multi-task averaging)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import higher_is_better, multitask_score, rmse_score, roc_auc_score
+
+
+class TestROCAUC:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        s = rng.random(2000)
+        assert abs(roc_auc_score(y, s) - 0.5) < 0.05
+
+    def test_ties_get_half_credit(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.3, 0.7])
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=30)
+        if len(np.unique(y)) < 2:
+            y[0], y[1] = 0, 1
+        s = rng.normal(size=30)
+        a = roc_auc_score(y, s)
+        b = roc_auc_score(y, np.exp(s) * 3.0 + 5.0)
+        assert a == pytest.approx(b)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_complement_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=25)
+        if len(np.unique(y)) < 2:
+            y[0], y[1] = 0, 1
+        s = rng.normal(size=25)
+        assert roc_auc_score(y, s) == pytest.approx(1.0 - roc_auc_score(1 - y, s))
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=40)
+        y[:2] = [0, 1]
+        s = rng.normal(size=40)
+        pos, neg = s[y == 1], s[y == 0]
+        pairs = [(1.0 if p > n else 0.5 if p == n else 0.0) for p in pos for n in neg]
+        assert roc_auc_score(y, s) == pytest.approx(np.mean(pairs))
+
+
+class TestRMSE:
+    def test_zero_for_exact(self):
+        assert rmse_score([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert rmse_score([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_nonnegative_and_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=10), rng.normal(size=10)
+        assert rmse_score(a, b) >= 0
+        assert rmse_score(a, b) == pytest.approx(rmse_score(b, a))
+
+
+class TestMultitask:
+    def test_averages_over_tasks(self):
+        y = np.array([[0, 1], [1, 0], [0, 1], [1, 0]], dtype=float)
+        s = np.array([[0.1, 0.9], [0.9, 0.1], [0.2, 0.8], [0.8, 0.2]])
+        assert multitask_score(y, s, "roc_auc") == 1.0
+
+    def test_skips_missing_labels(self):
+        y = np.array([[0.0, np.nan], [1.0, np.nan], [0.0, np.nan]])
+        s = np.random.default_rng(0).random((3, 2))
+        score = multitask_score(y, s, "roc_auc")
+        assert 0.0 <= score <= 1.0  # second task skipped silently
+
+    def test_skips_single_class_tasks(self):
+        y = np.array([[0.0, 1.0], [1.0, 1.0], [0.0, 1.0]])
+        s = np.array([[0.1, 0.5], [0.9, 0.5], [0.2, 0.5]])
+        assert multitask_score(y, s, "roc_auc") == 1.0  # only task 0 counts
+
+    def test_all_degenerate_raises(self):
+        y = np.ones((3, 1))
+        s = np.random.default_rng(0).random((3, 1))
+        with pytest.raises(ValueError):
+            multitask_score(y, s, "roc_auc")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            multitask_score(np.zeros((2, 1)), np.zeros((3, 1)), "rmse")
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            multitask_score(np.zeros((2, 1)), np.zeros((2, 1)), "f1")
+
+    def test_rmse_multitask(self):
+        y = np.array([[1.0, 0.0], [2.0, 0.0]])
+        s = np.array([[1.0, 1.0], [2.0, 1.0]])
+        assert multitask_score(y, s, "rmse") == pytest.approx(0.5)
+
+
+class TestDirection:
+    def test_directions(self):
+        assert higher_is_better("roc_auc")
+        assert not higher_is_better("rmse")
+        with pytest.raises(ValueError):
+            higher_is_better("accuracy")
