@@ -76,7 +76,7 @@ class EvolutionarySearcher:
         cfg = self.config
         optimizer = Adam(self.supernet.theta_parameters(), lr=cfg.theta_lr)
         loader = DataLoader(train_graphs, batch_size=cfg.batch_size, shuffle=True,
-                            rng=np.random.default_rng((cfg.seed, 21)))
+                            rng=np.random.default_rng((cfg.seed, 21)), cache=True)
         k = self.supernet.encoder.num_layers
         for _ in range(cfg.warmup_epochs):
             for batch in loader:
@@ -94,11 +94,17 @@ class EvolutionarySearcher:
         """Validation score of a spec under shared weights (no retraining)."""
         from .search import S2PGNNSearcher
 
-        # Reuse the searcher's evaluation path on our supernet.
-        shim = S2PGNNSearcher.__new__(S2PGNNSearcher)
-        shim.supernet = self.supernet
-        shim.space = self.space
-        shim.dataset = self.dataset
+        # Reuse the searcher's evaluation path on our supernet.  The shim is
+        # kept across generations so its cached evaluation loader collates
+        # the validation split exactly once per search.
+        shim = getattr(self, "_eval_shim", None)
+        if shim is None:
+            shim = S2PGNNSearcher.__new__(S2PGNNSearcher)
+            shim.supernet = self.supernet
+            shim.space = self.space
+            shim.dataset = self.dataset
+            shim.config = SearchConfig(seed=self.config.seed)
+            self._eval_shim = shim
         return S2PGNNSearcher.evaluate_spec(shim, spec, valid_graphs)
 
     def _mutate(self, spec: FineTuneStrategySpec, rng) -> FineTuneStrategySpec:

@@ -26,7 +26,13 @@ from ..nn import Linear, Module, ModuleList, Tensor
 from .controller import SampledStrategy
 from .space import FineTuneSpace, FineTuneStrategySpec
 
-__all__ = ["S2PGNNSupernet", "DerivedModel"]
+__all__ = ["S2PGNNSupernet", "DerivedModel", "MIX_SKIP_THRESHOLD"]
+
+#: Mixing weights at or below this magnitude are treated as zero: their
+#: candidate operator is never invoked.  At 1e-8 the dropped term is far
+#: below float64 round-off of the surviving terms, so fast-path outputs
+#: match the full mixture to well under 1e-9.
+MIX_SKIP_THRESHOLD = 1e-8
 
 
 class S2PGNNSupernet(Module):
@@ -44,12 +50,15 @@ class S2PGNNSupernet(Module):
     """
 
     def __init__(self, encoder: GNNEncoder, space: FineTuneSpace, num_tasks: int,
-                 seed: int = 0):
+                 seed: int = 0, mix_threshold: float | None = MIX_SKIP_THRESHOLD):
         super().__init__()
         rng = np.random.default_rng((seed, 3))
         self.encoder = encoder
         self.space = space
         self.num_tasks = num_tasks
+        # ``None`` disables branch skipping (every candidate always runs);
+        # benchmarks use that to time the pre-fast-path mixed forward.
+        self.mix_threshold = mix_threshold
         k, d = encoder.num_layers, encoder.emb_dim
 
         self.identity_banks = ModuleList([
@@ -66,12 +75,33 @@ class S2PGNNSupernet(Module):
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _mix(weights: Tensor, outputs: list[Tensor]) -> Tensor:
-        """``sum_i w[i] * O_i`` — skip negligible branches for speed when the
-        weight vector is (nearly) one-hot (low-temperature regime)."""
-        mixed = None
+    def _mix(weights: Tensor, outputs: list, threshold: float | None = MIX_SKIP_THRESHOLD) -> Tensor:
+        """``sum_i w[i] * O_i`` with real branch skipping.
+
+        ``outputs`` entries are either Tensors or zero-argument callables
+        (lazy branches).  A branch whose mixing weight has magnitude at or
+        below ``threshold`` is *never invoked* — in the low-temperature
+        regime (near one-hot sample) or under an exactly one-hot
+        ``evaluate_spec`` call, each dimension therefore does O(1) operator
+        work instead of O(|candidates|).  Pass ``threshold=None`` to force
+        the full mixture (every branch computed).
+
+        Skipping a sub-threshold branch also drops its (negligible)
+        contribution to the controller gradient; at the default threshold
+        the dropped terms are below float64 round-off of the kept ones.
+        """
         w = weights.data
-        for i, out in enumerate(outputs):
+        if threshold is None:
+            active = range(len(outputs))
+        else:
+            active = np.flatnonzero(np.abs(w) > threshold)
+            if len(active) == 0:  # degenerate all-zero sample: keep old path
+                active = range(len(outputs))
+        mixed = None
+        for i in active:
+            out = outputs[i]
+            if callable(out):
+                out = out()
             if out is None:
                 continue
             term = out * weights[i]
@@ -79,21 +109,35 @@ class S2PGNNSupernet(Module):
         return mixed
 
     def forward_full(self, batch: Batch, strategy: SampledStrategy) -> dict:
-        """Mixed-operator forward pass under a relaxed strategy sample."""
+        """Mixed-operator forward pass under a relaxed strategy sample.
+
+        Candidates are handed to :meth:`_mix` as thunks so skipped branches
+        pay zero compute, not just zero weight.
+        """
+        threshold = self.mix_threshold
         h = self.encoder.embed_nodes(batch)
         layers: list[Tensor] = []
         for k in range(self.encoder.num_layers):
             z = self.encoder.layer_step(h, batch, k)
-            candidates = [aug(h, z) for aug in self.identity_banks[k]]
-            h = self._mix(strategy.identity[k], candidates)
+            candidates = [
+                (lambda aug=aug, h=h, z=z: aug(h, z))
+                for aug in self.identity_banks[k]
+            ]
+            h = self._mix(strategy.identity[k], candidates, threshold)
             layers.append(h)
 
         fused = self._mix(
-            strategy.fusion, [fusion(layers) for fusion in self.fusion_bank]
+            strategy.fusion,
+            [(lambda fusion=fusion: fusion(layers)) for fusion in self.fusion_bank],
+            threshold,
         )
         graph_repr = self._mix(
             strategy.readout,
-            [readout(fused, batch.batch, batch.num_graphs) for readout in self.readout_bank],
+            [
+                (lambda readout=readout: readout(fused, batch.batch, batch.num_graphs))
+                for readout in self.readout_bank
+            ],
+            threshold,
         )
         logits = self.head(graph_repr)
         return {"layers": layers, "node": fused, "graph": graph_repr, "logits": logits}

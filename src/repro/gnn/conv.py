@@ -156,26 +156,23 @@ class GATConv(Module):
 
     def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
         num_nodes = h.shape[0]
+        heads, dim = self.num_heads, self.dim
+        # (N, heads*d) -> (N, H, d); slice k of the flat layout is head k.
+        projected = self.proj(h).reshape(num_nodes, heads, dim)
         if not edge_index.shape[1]:
-            return h @ self.proj.weight[:, :self.dim] + self.bias
-        projected = self.proj(h)  # (N, heads*d)
-        bond = self.bond_encoder(edge_attr)
-        head_outputs = []
-        for head in range(self.num_heads):
-            hp = projected[:, head * self.dim:(head + 1) * self.dim]
-            src_feat = gather(hp, edge_index[0]) + bond
-            dst_feat = gather(hp, edge_index[1])
-            alpha_vec_s = self.att_src[head]
-            alpha_vec_d = self.att_dst[head]
-            scores = (src_feat * alpha_vec_s).sum(axis=-1) + (dst_feat * alpha_vec_d).sum(axis=-1)
-            scores = scores.leaky_relu(self.negative_slope)
-            attn = segment_softmax(scores, edge_index[1], num_nodes)
-            weighted = src_feat * attn.reshape(-1, 1)
-            head_outputs.append(segment_sum(weighted, edge_index[1], num_nodes))
-        out = head_outputs[0]
-        for extra in head_outputs[1:]:
-            out = out + extra
-        return out * (1.0 / self.num_heads) + self.bias
+            # No messages to attend over: average all heads' projections
+            # (the same head-mean the attention path applies).
+            return projected.mean(axis=1) + self.bias
+        bond = self.bond_encoder(edge_attr)  # (E, d), shared across heads
+        src_feat = gather(projected, edge_index[0]) + bond.reshape(-1, 1, dim)
+        dst_feat = gather(projected, edge_index[1])  # both (E, H, d)
+        scores = (src_feat * self.att_src).sum(axis=-1) \
+            + (dst_feat * self.att_dst).sum(axis=-1)  # (E, H)
+        scores = scores.leaky_relu(self.negative_slope)
+        attn = segment_softmax(scores, edge_index[1], num_nodes)
+        weighted = src_feat * attn.reshape(-1, heads, 1)
+        agg = segment_sum(weighted, edge_index[1], num_nodes)  # (N, H, d)
+        return agg.mean(axis=1) + self.bias
 
 
 def make_conv(conv_type: str, dim: int, rng: np.random.Generator) -> Module:

@@ -105,13 +105,25 @@ class Graph:
 
 
 class Batch:
-    """Disjoint union of graphs with per-node graph assignment."""
+    """Disjoint union of graphs with per-node graph assignment.
 
-    def __init__(self, graphs: list[Graph]):
+    Parameters
+    ----------
+    graphs:
+        The member graphs, collated eagerly (one numpy concatenation per
+        array field).
+    indices:
+        Optional positions of the member graphs in their source dataset;
+        recorded by the caching :class:`~repro.graph.loader.DataLoader` so
+        a pre-collated batch stays traceable to the split it came from.
+    """
+
+    def __init__(self, graphs: list[Graph], indices: np.ndarray | None = None):
         if not graphs:
             raise ValueError("cannot batch zero graphs")
         self.graphs = list(graphs)
         self.num_graphs = len(graphs)
+        self.indices = None if indices is None else np.asarray(indices, dtype=np.int64)
 
         node_offsets = np.cumsum([0] + [g.num_nodes for g in graphs])
         self.node_offsets = node_offsets

@@ -1,4 +1,16 @@
-"""Mini-batch loader: shuffles graphs and yields disjoint-union Batches."""
+"""Mini-batch loader: shuffles graphs and yields disjoint-union Batches.
+
+Two iteration modes:
+
+* **fresh** (default) — reshuffle the *graph* order each epoch and collate
+  every batch from scratch, exactly as a PyG-style loader would.
+* **cached** (``cache=True``) — partition the dataset into batches once,
+  collate each partition exactly once, and reshuffle only the *order in
+  which the pre-built batches are yielded* each epoch.  The numpy
+  concatenation cost of collation is paid once per split instead of once
+  per epoch, which is what makes repeated supernet sweeps (search epochs,
+  per-candidate validation scoring) cheap.
+"""
 
 from __future__ import annotations
 
@@ -19,9 +31,20 @@ class DataLoader:
     batch_size:
         Paper default is 32 (Sec. IV-A4).
     shuffle:
-        Reshuffle order each epoch using the provided RNG.
+        Reshuffle each epoch using the provided RNG.  In fresh mode the
+        graph order is shuffled (batch membership changes per epoch); in
+        cached mode the batch order is shuffled (membership is fixed at
+        the first epoch's dataset-order partition).
     drop_last:
         Drop a trailing incomplete batch (useful for BatchNorm stability).
+        Combined with ``cache``, the dropped tail is the *same* graphs
+        every epoch (fresh mode re-draws which graphs land in the dropped
+        tail each epoch) — avoid ``cache + drop_last`` for training loops
+        that must eventually visit every graph.
+    cache:
+        Collate each batch once and reuse it every epoch (see module
+        docstring).  :attr:`num_collations` counts Batch constructions so
+        callers can verify the cache is working.
     """
 
     def __init__(
@@ -31,6 +54,7 @@ class DataLoader:
         shuffle: bool = False,
         rng: np.random.Generator | None = None,
         drop_last: bool = False,
+        cache: bool = False,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -39,6 +63,9 @@ class DataLoader:
         self.shuffle = shuffle
         self.rng = rng or np.random.default_rng(0)
         self.drop_last = drop_last
+        self.cache = cache
+        self.num_collations = 0
+        self._cached_batches: list[Batch] | None = None
 
     def __len__(self) -> int:
         n = len(self.graphs)
@@ -46,7 +73,46 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
+    def _collate(self, indices: np.ndarray) -> Batch:
+        self.num_collations += 1
+        return Batch([self.graphs[i] for i in indices], indices=indices)
+
+    def _materialize_cache(self) -> list[Batch]:
+        """Build the fixed batch partition exactly once.
+
+        With ``shuffle`` the membership is drawn from one random permutation
+        — crucial because molecular datasets arrive scaffold-sorted, and
+        contiguous dataset-order chunks would make every batch a
+        scaffold-homogeneous block (badly non-IID gradients).  Without
+        ``shuffle`` the partition preserves dataset order.
+        """
+        if self._cached_batches is None:
+            n = len(self.graphs)
+            order = np.arange(n)
+            if self.shuffle:
+                self.rng.shuffle(order)
+            batches = []
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                if self.drop_last and idx.size < self.batch_size:
+                    break
+                batches.append(self._collate(idx))
+            self._cached_batches = batches
+        return self._cached_batches
+
+    def invalidate_cache(self) -> None:
+        """Drop pre-collated batches (call after mutating ``self.graphs``)."""
+        self._cached_batches = None
+
     def __iter__(self):
+        if self.cache:
+            batches = self._materialize_cache()
+            order = np.arange(len(batches))
+            if self.shuffle:
+                self.rng.shuffle(order)
+            for i in order:
+                yield batches[i]
+            return
         order = np.arange(len(self.graphs))
         if self.shuffle:
             self.rng.shuffle(order)
@@ -54,4 +120,4 @@ class DataLoader:
             chunk = order[start:start + self.batch_size]
             if self.drop_last and len(chunk) < self.batch_size:
                 return
-            yield Batch([self.graphs[i] for i in chunk])
+            yield self._collate(chunk)

@@ -98,6 +98,107 @@ class TestSearcher:
         assert spec.readout in DEFAULT_SPACE.readout
 
 
+class TestEvalLoaderReuse:
+    def test_eval_batch_size_respected(self, tiny_dataset):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, eval_batch_size=16, seed=0),
+        )
+        _, valid, _ = tiny_dataset.split()
+        loader = searcher._eval_loader(valid)
+        assert loader.batch_size == 16
+
+    def test_evaluate_spec_reuses_one_cached_loader(self, tiny_dataset):
+        from repro.core.space import FineTuneStrategySpec
+
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, batch_size=16, seed=0),
+        )
+        _, valid, _ = tiny_dataset.split()
+        spec_a = FineTuneStrategySpec(identity=("zero_aug", "zero_aug"),
+                                      fusion="last", readout="mean")
+        spec_b = FineTuneStrategySpec(identity=("zero_aug", "zero_aug"),
+                                      fusion="mean", readout="sum")
+        searcher.evaluate_spec(spec_a, valid)
+        searcher.evaluate_spec(spec_b, valid)
+        loader = searcher._eval_loader(valid)
+        # Scoring two candidates collated the split exactly once.
+        assert loader.num_collations == len(loader)
+
+    def test_cache_batches_false_disables_eval_caching(self, tiny_dataset):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, cache_batches=False, seed=0),
+        )
+        _, valid, _ = tiny_dataset.split()
+        a = searcher._eval_loader(valid)
+        b = searcher._eval_loader(valid)
+        # Fresh loader per call: mutations to `valid` are always observed.
+        assert a is not b
+        assert not a.cache
+
+    def test_eval_loader_cache_bounded(self, tiny_dataset):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, seed=0),
+        )
+        _, valid, _ = tiny_dataset.split()
+        lists = [list(valid) for _ in range(10)]
+        for graphs in lists:
+            searcher._eval_loader(graphs)
+        assert len(searcher._eval_loaders) <= searcher._EVAL_LOADER_CACHE_SIZE
+
+
+class TestReinitializeTheta:
+    def test_draws_fresh_values_not_noise(self, tiny_dataset):
+        """The no-weight-sharing ablation must reset candidate weights to
+        fresh initializer draws, not add tiny noise to the trained values."""
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, batch_size=16, seed=0),
+        )
+        # Simulate training drift on a non-encoder parameter.
+        name, param = next(
+            (n, p) for n, p in searcher.supernet.named_parameters()
+            if not n.startswith("encoder.") and p.data.size > 1
+        )
+        drifted = param.data + 37.0
+        param.data = drifted.copy()
+        searcher._reinitialize_theta(seed=123)
+        # Fresh draw: far from the drifted value (N(0, 0.01) noise was ~0.01
+        # away), and exactly what a fresh supernet initializes to.
+        assert np.abs(param.data - drifted).max() > 1.0
+        from repro.core.supernet import S2PGNNSupernet
+
+        fresh = S2PGNNSupernet(searcher.supernet.encoder, searcher.space,
+                               searcher.supernet.num_tasks, seed=123)
+        assert np.array_equal(param.data, dict(fresh.named_parameters())[name].data)
+
+    def test_encoder_untouched(self, tiny_dataset):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, batch_size=16, seed=0),
+        )
+        before = {n: p.data.copy() for n, p in searcher.supernet.named_parameters()
+                  if n.startswith("encoder.")}
+        searcher._reinitialize_theta(seed=7)
+        for n, p in searcher.supernet.named_parameters():
+            if n.startswith("encoder."):
+                assert np.array_equal(p.data, before[n])
+
+    def test_deterministic_per_seed(self, tiny_dataset):
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, batch_size=16, seed=0),
+        )
+        searcher._reinitialize_theta(seed=5)
+        after_first = {n: p.data.copy() for n, p in searcher.supernet.named_parameters()}
+        searcher._reinitialize_theta(seed=5)
+        for n, p in searcher.supernet.named_parameters():
+            assert np.array_equal(p.data, after_first[n])
+
+
 class TestRandomSearch:
     def test_returns_best_of_candidates(self, tiny_dataset):
         spec, score, results = random_search(

@@ -122,6 +122,87 @@ class TestGAT:
         assert np.all(np.isfinite(out.data))
 
 
+def gat_reference_per_head(conv, h, edge_index, edge_attr):
+    """The pre-vectorization GATConv forward: one Python pass per head."""
+    from repro.nn import gather
+
+    num_nodes = h.shape[0]
+    projected = conv.proj(h)
+    bond = conv.bond_encoder(edge_attr)
+    head_outputs = []
+    for head in range(conv.num_heads):
+        hp = projected[:, head * conv.dim:(head + 1) * conv.dim]
+        src_feat = gather(hp, edge_index[0]) + bond
+        dst_feat = gather(hp, edge_index[1])
+        scores = (src_feat * conv.att_src[head]).sum(axis=-1) \
+            + (dst_feat * conv.att_dst[head]).sum(axis=-1)
+        scores = scores.leaky_relu(conv.negative_slope)
+        attn = segment_softmax(scores, edge_index[1], num_nodes)
+        weighted = src_feat * attn.reshape(-1, 1)
+        head_outputs.append(segment_sum(weighted, edge_index[1], num_nodes))
+    out = head_outputs[0]
+    for extra in head_outputs[1:]:
+        out = out + extra
+    return out * (1.0 / conv.num_heads) + conv.bias
+
+
+class TestGATVectorized:
+    @pytest.mark.parametrize("num_heads", [1, 2, 4])
+    def test_matches_per_head_loop(self, batch, rng, num_heads):
+        """Vectorized all-heads pass == the old per-head Python loop."""
+        from repro.gnn.conv import GATConv
+
+        conv = GATConv(16, rng, num_heads=num_heads)
+        h = Tensor(np.random.default_rng(7).normal(size=(batch.num_nodes, 16)))
+        fast = conv(h, batch.edge_index, batch.edge_attr).data
+        ref = gat_reference_per_head(conv, h, batch.edge_index, batch.edge_attr).data
+        assert np.allclose(fast, ref, atol=1e-12)
+
+    def test_matches_per_head_loop_random_graphs(self, rng):
+        from repro.gnn.conv import GATConv
+
+        g = np.random.default_rng(11)
+        for trial in range(5):
+            n = int(g.integers(2, 12))
+            e = int(g.integers(1, 4 * n))
+            ei = g.integers(0, n, size=(2, e))
+            ea = np.stack([g.integers(0, 4, size=e), g.integers(0, 3, size=e)], axis=1)
+            conv = GATConv(8, np.random.default_rng((13, trial)), num_heads=2)
+            h = Tensor(g.normal(size=(n, 8)))
+            fast = conv(h, ei, ea).data
+            ref = gat_reference_per_head(conv, h, ei, ea).data
+            assert np.allclose(fast, ref, atol=1e-12), trial
+
+    def test_empty_edges_averages_all_heads(self, rng):
+        """Zero-edge fallback uses the head-mean of all projections, not
+        only head 0's weight slice."""
+        from repro.gnn.conv import GATConv
+
+        conv = GATConv(8, rng, num_heads=2)
+        h = Tensor(np.random.default_rng(3).normal(size=(5, 8)))
+        out = conv(h, np.zeros((2, 0), dtype=np.int64),
+                   np.zeros((0, 2), dtype=np.int64)).data
+
+        w = conv.proj.weight.data  # (8, 16): [head0 | head1]
+        expected = 0.5 * (h.data @ w[:, :8] + h.data @ w[:, 8:]) + conv.bias.data
+        assert np.allclose(out, expected, atol=1e-12)
+        # Regression: head 0 alone was the old (buggy) fallback.
+        head0_only = h.data @ w[:, :8] + conv.bias.data
+        assert not np.allclose(out, head0_only)
+
+    def test_empty_edges_gradients_reach_all_heads(self, rng):
+        from repro.gnn.conv import GATConv
+
+        conv = GATConv(8, rng, num_heads=2)
+        h = Tensor(np.random.default_rng(3).normal(size=(5, 8)))
+        conv(h, np.zeros((2, 0), dtype=np.int64),
+             np.zeros((0, 2), dtype=np.int64)).sum().backward()
+        grad = conv.proj.weight.grad
+        assert grad is not None
+        assert np.abs(grad[:, :8]).sum() > 0  # head 0
+        assert np.abs(grad[:, 8:]).sum() > 0  # head 1
+
+
 class TestBondEncoder:
     def test_embeds_both_fields(self, rng):
         enc = BondEncoder(8, rng)

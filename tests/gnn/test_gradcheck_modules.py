@@ -109,7 +109,11 @@ class TestSupernetMixtureGradients:
         from repro.gnn import GNNEncoder
 
         enc = GNNEncoder("gin", 2, DIM, dropout=0.0, seed=0)
-        net = S2PGNNSupernet(enc, DEFAULT_SPACE, num_tasks=1, seed=0)
+        # Disable branch skipping: the full mixture must have exact
+        # gradients in *every* weight, including exactly-zero ones (the
+        # fast path intentionally truncates those to zero instead).
+        net = S2PGNNSupernet(enc, DEFAULT_SPACE, num_tasks=1, seed=0,
+                             mix_threshold=None)
         net.eval()
         spec = FineTuneStrategySpec(identity=("zero_aug", "zero_aug"),
                                     fusion="last", readout="mean")
@@ -131,3 +135,12 @@ class TestSupernetMixtureGradients:
             lo = w0.copy(); lo[i] -= eps
             numeric[i] = (loss_for(hi).item() - loss_for(lo).item()) / (2 * eps)
         assert np.abs(analytic - numeric).max() < 1e-5
+
+        # Fast path: gradients in the *active* (above-threshold) weights
+        # are unchanged; skipped branches contribute exactly zero.
+        net.mix_threshold = 1e-8
+        w_fast = Tensor(w0.copy(), requires_grad=True)
+        loss_for(w_fast).backward()
+        active = w0 > 1e-8
+        assert np.allclose(w_fast.grad[active], analytic[active])
+        assert np.all(w_fast.grad[~active] == 0.0)
