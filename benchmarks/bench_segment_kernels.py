@@ -1,0 +1,202 @@
+"""Microbenchmark for the segment-kernel layer (repro.nn.segment).
+
+Times the four segment reductions every forward pass bottoms out in —
+``segment_sum/mean/max/softmax`` — on a representative batched-molecule
+workload (all molecules of a synthetic-MoleculeNet split collated into one
+batch, E ~= 50k directed edges), comparing:
+
+1. **plan-backed vs legacy** — the sorted-plan kernels (CSR-matvec
+   execution of the reduceat recurrence, rank-sliced vertical max) against
+   the ``np.add.at`` / ``np.maximum.at`` reference backend.  The headline
+   ``kernel_s`` numbers time the op forward (the part the backend changes);
+   ``roundtrip_s`` times forward + full backward for context — the adjoint
+   gathers are shared by both backends, so roundtrip ratios are diluted by
+   identical autograd machinery.
+2. **plan-cached vs plan-per-call** — reusing one precomputed
+   :class:`SegmentPlan` (what ``Batch`` caching gives every model-level
+   call) against rebuilding the plan from the raw index array per call.
+
+Per-op feature widths mirror the model hot paths: message aggregation
+(sum/mean/max) runs at the encoder width, attention softmax at GAT's
+per-head score width.
+
+Emits ``BENCH_segment_kernels.json`` next to this file.
+
+Run modes:
+
+* ``python benchmarks/bench_segment_kernels.py`` — full config (E ~= 50k),
+  writes the JSON snapshot.
+* ``pytest benchmarks/bench_segment_kernels.py`` — quick tier, asserts the
+  speedup contract, does not overwrite the snapshot (set
+  ``REPRO_BENCH_WRITE=1`` to write it; set ``REPRO_BENCH_SKIP=1`` to skip
+  entirely).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+RESULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "BENCH_segment_kernels.json")
+
+#: op -> feature width factor: encoder-width features for aggregation ops,
+#: per-head attention scores for softmax.
+OP_DIMS = {"segment_sum": "emb", "segment_mean": "emb", "segment_max": "emb",
+           "segment_softmax": "heads"}
+
+
+def _edge_workload(num_graphs, seed=0):
+    """One big collated batch of molecules: edge-level segment workload."""
+    from repro.graph import Batch, load_dataset
+
+    dataset = load_dataset("bbbp", size=num_graphs)
+    batch = Batch(dataset.graphs)
+    return batch.edge_index[1], batch.num_nodes, batch.num_edges
+
+
+def _time(fn, repeats):
+    """Best-of-``repeats`` wall time of ``fn`` (seconds)."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _get_op(op_name):
+    from repro.nn import segment_max, segment_mean, segment_softmax, segment_sum
+
+    return {"segment_sum": segment_sum, "segment_mean": segment_mean,
+            "segment_max": segment_max, "segment_softmax": segment_softmax}[op_name]
+
+
+def bench_backends(num_graphs=1800, emb_dim=32, num_heads=2, repeats=5, seed=0):
+    """Plan-backed kernels vs legacy, and plan-cached vs plan-per-call."""
+    from repro.nn import SegmentPlan, Tensor, no_grad, use_backend
+
+    ids, n, num_edges = _edge_workload(num_graphs, seed)
+    plan = SegmentPlan(ids, n)
+    # Warm the lazy plan caches so ``plan-cached`` times steady state.
+    plan.csr(), plan.rank_slices()
+    rng = np.random.default_rng(seed)
+
+    def kernel_sweep(op, data, index, num_segments, backend):
+        def run():
+            with no_grad(), use_backend(backend):
+                op(Tensor(data), index, num_segments)
+        return run
+
+    def roundtrip_sweep(op, data, index, num_segments, backend):
+        def run():
+            x = Tensor(data, requires_grad=True)
+            with use_backend(backend):
+                out = op(x, index, num_segments)
+            out.sum().backward()
+        return run
+
+    per_op = {}
+    for op_name, width_kind in OP_DIMS.items():
+        op = _get_op(op_name)
+        width = emb_dim if width_kind == "emb" else num_heads
+        data = rng.normal(size=(num_edges, width))
+        row = {
+            "feature_dim": width,
+            "legacy_kernel_s": _time(
+                kernel_sweep(op, data, ids, n, "legacy"), repeats),
+            "plan_kernel_s": _time(
+                kernel_sweep(op, data, plan, None, "reduceat"), repeats),
+            "per_call_kernel_s": _time(
+                kernel_sweep(op, data, ids, n, "reduceat"), repeats),
+            "legacy_roundtrip_s": _time(
+                roundtrip_sweep(op, data, ids, n, "legacy"), repeats),
+            "plan_roundtrip_s": _time(
+                roundtrip_sweep(op, data, plan, None, "reduceat"), repeats),
+        }
+        row["kernel_speedup_plan_vs_legacy"] = (
+            row["legacy_kernel_s"] / row["plan_kernel_s"])
+        row["kernel_speedup_plan_vs_per_call"] = (
+            row["per_call_kernel_s"] / row["plan_kernel_s"])
+        row["roundtrip_speedup_plan_vs_legacy"] = (
+            row["legacy_roundtrip_s"] / row["plan_roundtrip_s"])
+        per_op[op_name] = row
+
+    def total(key):
+        return sum(v[key] for v in per_op.values())
+
+    return {
+        "num_graphs": num_graphs,
+        "num_edges": num_edges,
+        "num_nodes": n,
+        "ops": per_op,
+        "aggregate_kernel_speedup_plan_vs_legacy":
+            total("legacy_kernel_s") / total("plan_kernel_s"),
+        "aggregate_roundtrip_speedup_plan_vs_legacy":
+            total("legacy_roundtrip_s") / total("plan_roundtrip_s"),
+    }
+
+
+def bench_plan_build(num_graphs=1800, repeats=3, seed=0):
+    """One-off cost of plan construction (amortized away by Batch caching)."""
+    from repro.nn import SegmentPlan
+
+    ids, n, num_edges = _edge_workload(num_graphs, seed)
+    build_s = _time(lambda: SegmentPlan(ids, n), repeats)
+
+    def build_full():
+        plan = SegmentPlan(ids, n)
+        plan.csr(), plan.rank_slices()
+
+    return {
+        "plan_build_s": build_s,
+        "plan_build_with_kernel_caches_s": _time(build_full, repeats),
+        "num_edges": num_edges,
+    }
+
+
+def run_benchmark(num_graphs=1800, emb_dim=32, num_heads=2, repeats=5, seed=0):
+    config = {
+        "num_graphs": num_graphs,
+        "emb_dim": emb_dim,
+        "num_heads": num_heads,
+        "repeats": repeats,
+        "seed": seed,
+    }
+    return {
+        "benchmark": "segment_kernels",
+        "config": config,
+        "backends": bench_backends(num_graphs, emb_dim, num_heads, repeats, seed),
+        "plan_build": bench_plan_build(num_graphs, max(repeats // 2, 1), seed),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (quick tier)
+# ----------------------------------------------------------------------
+def test_segment_kernel_speedup_contract():
+    import pytest
+
+    if os.environ.get("REPRO_BENCH_SKIP") == "1":
+        pytest.skip("REPRO_BENCH_SKIP=1")
+    results = run_benchmark(num_graphs=400, emb_dim=16, repeats=3)
+    print(json.dumps(results, indent=2))
+    backends = results["backends"]
+    assert backends["aggregate_kernel_speedup_plan_vs_legacy"] >= 3.0, backends
+    for op_name, row in backends["ops"].items():
+        # Per-op floors are loose (timer noise); the aggregate is the contract.
+        assert row["kernel_speedup_plan_vs_legacy"] >= 1.2, (op_name, row)
+        assert row["kernel_speedup_plan_vs_per_call"] >= 0.9, (op_name, row)
+        assert row["roundtrip_speedup_plan_vs_legacy"] >= 0.95, (op_name, row)
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        with open(RESULT_PATH, "w") as f:
+            json.dump(results, f, indent=2)
+
+
+if __name__ == "__main__":
+    results = run_benchmark()
+    print(json.dumps(results, indent=2))
+    with open(RESULT_PATH, "w") as f:
+        json.dump(results, f, indent=2)
+    print(f"\nwrote {RESULT_PATH}")

@@ -50,6 +50,14 @@ class SearchConfig:
     #: cost.  Set False for strictly paper-faithful per-epoch reshuffling,
     #: or if you mutate the graph lists between evaluate_spec calls.
     cache_batches: bool = True
+    #: Raise the supernet's branch-skip threshold as tau anneals (see
+    #: :meth:`S2PGNNSupernet.update_mix_threshold`).  Epoch 0 of a
+    #: multi-epoch search runs at the fixed base threshold, so early
+    #: exploration is unaffected; a single-epoch search starts (and ends)
+    #: at ``tau_end`` and therefore uses ``mix_threshold_final`` throughout.
+    adaptive_mix_threshold: bool = True
+    #: Skip threshold reached once tau hits ``tau_end``.
+    mix_threshold_final: float = 1e-5
     theta_lr: float = 1e-3
     alpha_lr: float = 3e-3
     tau_start: float = 1.0
@@ -122,6 +130,9 @@ class S2PGNNSearcher:
         start = time.perf_counter()
         for epoch in range(cfg.epochs):
             tau = cfg.temperature(epoch)
+            if cfg.adaptive_mix_threshold:
+                self.supernet.update_mix_threshold(
+                    tau, cfg.tau_start, cfg.tau_end, cfg.mix_threshold_final)
 
             # --- theta step over the training split (Eq. 16) -------------
             train_loss, train_batches = 0.0, 0
@@ -165,6 +176,7 @@ class S2PGNNSearcher:
             history.append({
                 "epoch": epoch,
                 "tau": tau,
+                "mix_threshold": self.supernet.mix_threshold,
                 "train_loss": train_loss / max(train_batches, 1),
                 "alpha_loss": alpha_loss / max(alpha_batches, 1),
                 "derived": self.controller.derive().describe(),

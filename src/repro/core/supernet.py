@@ -26,13 +26,22 @@ from ..nn import Linear, Module, ModuleList, Tensor
 from .controller import SampledStrategy
 from .space import FineTuneSpace, FineTuneStrategySpec
 
-__all__ = ["S2PGNNSupernet", "DerivedModel", "MIX_SKIP_THRESHOLD"]
+__all__ = ["S2PGNNSupernet", "DerivedModel", "MIX_SKIP_THRESHOLD",
+           "MIX_SKIP_THRESHOLD_FINAL"]
 
 #: Mixing weights at or below this magnitude are treated as zero: their
 #: candidate operator is never invoked.  At 1e-8 the dropped term is far
 #: below float64 round-off of the surviving terms, so fast-path outputs
 #: match the full mixture to well under 1e-9.
 MIX_SKIP_THRESHOLD = 1e-8
+
+#: End point of the temperature-aware threshold schedule
+#: (:meth:`S2PGNNSupernet.update_mix_threshold`).  Near the annealed
+#: temperature the Gumbel-softmax samples are close to one-hot, so losing
+#: branches carry weights far below this and skipping them changes mixed
+#: outputs only at the 1e-5-relative level while saving their full forward
+#: cost.
+MIX_SKIP_THRESHOLD_FINAL = 1e-5
 
 
 class S2PGNNSupernet(Module):
@@ -59,6 +68,10 @@ class S2PGNNSupernet(Module):
         # ``None`` disables branch skipping (every candidate always runs);
         # benchmarks use that to time the pre-fast-path mixed forward.
         self.mix_threshold = mix_threshold
+        # Base of the temperature-aware schedule; ``update_mix_threshold``
+        # interpolates from here, so direct assignments to ``mix_threshold``
+        # (benchmarks, tests) never leak into the schedule.
+        self._mix_threshold_base = mix_threshold
         k, d = encoder.num_layers, encoder.emb_dim
 
         self.identity_banks = ModuleList([
@@ -74,6 +87,35 @@ class S2PGNNSupernet(Module):
         self.head = Linear(d, num_tasks, rng)
 
     # ------------------------------------------------------------------
+    def update_mix_threshold(self, tau: float, tau_start: float = 1.0,
+                             tau_end: float = 0.1,
+                             final: float | None = MIX_SKIP_THRESHOLD_FINAL) -> float | None:
+        """Temperature-aware skip-threshold schedule (set-and-return).
+
+        Interpolates geometrically from the construction-time base
+        threshold (at ``tau >= tau_start``) to ``final`` (at
+        ``tau <= tau_end``), tracking the annealing in log-temperature.
+        Early epochs therefore mix exactly as with the fixed base threshold
+        (exploration is unbiased), while late near-one-hot epochs skip
+        losing branches more aggressively — their weights decay like
+        ``exp(-Delta/tau)``, far below ``final`` by the time it is reached.
+
+        No-ops (returns the current threshold) when skipping is disabled —
+        ``mix_threshold=None`` at construction *or* assigned at runtime
+        (the documented full-mixture escape hatch) — or ``final`` is None.
+        """
+        base = self._mix_threshold_base
+        if base is None or final is None or self.mix_threshold is None:
+            return self.mix_threshold
+        if tau >= tau_start or tau_start <= tau_end:
+            progress = 0.0
+        elif tau <= tau_end:
+            progress = 1.0
+        else:
+            progress = np.log(tau_start / tau) / np.log(tau_start / tau_end)
+        self.mix_threshold = float(base * (final / base) ** progress)
+        return self.mix_threshold
+
     @staticmethod
     def _mix(weights: Tensor, outputs: list, threshold: float | None = MIX_SKIP_THRESHOLD) -> Tensor:
         """``sum_i w[i] * O_i`` with real branch skipping.
@@ -131,10 +173,11 @@ class S2PGNNSupernet(Module):
             [(lambda fusion=fusion: fusion(layers)) for fusion in self.fusion_bank],
             threshold,
         )
+        node_plan = batch.node_plan()
         graph_repr = self._mix(
             strategy.readout,
             [
-                (lambda readout=readout: readout(fused, batch.batch, batch.num_graphs))
+                (lambda readout=readout: readout(fused, node_plan, batch.num_graphs))
                 for readout in self.readout_bank
             ],
             threshold,
@@ -186,7 +229,7 @@ class DerivedModel(Module):
             h = self.identity_augs[k](h, z)
             layers.append(h)
         fused = self.fusion(layers)
-        graph_repr = self.readout(fused, batch.batch, batch.num_graphs)
+        graph_repr = self.readout(fused, batch.node_plan(), batch.num_graphs)
         logits = self.head(graph_repr)
         return {"layers": layers, "node": fused, "graph": graph_repr, "logits": logits}
 

@@ -9,6 +9,13 @@ message before aggregation.  Each convolution maps
 so layers are interchangeable inside the encoder — which is what lets the
 paper treat ``phi_conv`` as a transferred black box (Table III: the backbone
 convolution candidate set is exactly ``{pre_trained}``).
+
+Every layer aggregates through the plan-backed segment kernels in
+:mod:`repro.nn.segment`.  Callers that hold a :class:`~repro.graph.graph.Batch`
+pass it as ``ctx`` so the batch's cached edge-destination plan (and GCN's
+cached degree norms) are reused across layers, candidates and epochs;
+standalone calls build one throwaway plan per forward, shared by every
+segment op inside that forward.
 """
 
 from __future__ import annotations
@@ -22,11 +29,13 @@ from ..nn import (
     MLP,
     Module,
     Parameter,
+    SegmentPlan,
     Tensor,
     concatenate,
     gather,
-    segment_max,
+    gather_segments,
     segment_mean,
+    segment_softmax,
     segment_sum,
 )
 
@@ -34,6 +43,21 @@ __all__ = ["BondEncoder", "GINConv", "GCNConv", "SAGEConv", "GATConv", "make_con
            "CONV_TYPES", "segment_softmax"]
 
 CONV_TYPES = ["gin", "gcn", "sage", "gat"]
+
+
+def _edge_plan(ctx, edge_index: np.ndarray, num_nodes: int) -> SegmentPlan:
+    """The batch's cached destination plan, or a fresh standalone one."""
+    if ctx is not None:
+        return ctx.edge_plan()
+    return SegmentPlan(edge_index[1], num_nodes)
+
+
+def _gather_src(h, edge_index: np.ndarray, ctx):
+    """Gather source-node features, scatter-adjoint through the batch's
+    cached source plan when one is available."""
+    if ctx is not None:
+        return gather_segments(h, ctx.edge_src_plan())
+    return gather(h, edge_index[0])
 
 
 class BondEncoder(Module):
@@ -47,19 +71,6 @@ class BondEncoder(Module):
 
     def forward(self, edge_attr: np.ndarray) -> Tensor:
         return self.type_embedding(edge_attr[:, 0]) + self.tag_embedding(edge_attr[:, 1])
-
-
-def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
-    """Softmax of ``scores`` grouped by segment (per-destination attention).
-
-    The per-segment max is subtracted as a constant for numerical stability;
-    gradients flow through the exponential and normalizer exactly.
-    """
-    seg_max = segment_max(scores, segment_ids, num_segments).detach()
-    shifted = scores - gather(seg_max, segment_ids)
-    exp = shifted.exp()
-    denom = segment_sum(exp, segment_ids, num_segments)
-    return exp / (gather(denom, segment_ids) + 1e-16)
 
 
 class GINConv(Module):
@@ -76,11 +87,12 @@ class GINConv(Module):
         self.mlp = MLP([dim, 2 * dim, dim], rng)
         self.eps = Parameter(np.zeros(1))
 
-    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
+    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray,
+                ctx=None) -> Tensor:
         num_nodes = h.shape[0]
         if edge_index.shape[1]:
-            messages = gather(h, edge_index[0]) + self.bond_encoder(edge_attr)
-            agg = segment_sum(messages, edge_index[1], num_nodes)
+            messages = _gather_src(h, edge_index, ctx) + self.bond_encoder(edge_attr)
+            agg = segment_sum(messages, _edge_plan(ctx, edge_index, num_nodes))
         else:
             agg = Tensor(np.zeros_like(h.data))
         return self.mlp(h * (self.eps + 1.0) + agg)
@@ -99,15 +111,19 @@ class GCNConv(Module):
         self.bond_encoder = BondEncoder(dim, rng)
         self.linear = Linear(dim, dim, rng)
 
-    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
+    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray,
+                ctx=None) -> Tensor:
         num_nodes = h.shape[0]
-        deg = np.bincount(edge_index[1], minlength=num_nodes).astype(np.float64) + 1.0
-        inv_sqrt = 1.0 / np.sqrt(deg)
+        plan = _edge_plan(ctx, edge_index, num_nodes)
+        if ctx is not None:
+            inv_sqrt = ctx.gcn_inv_sqrt_deg()
+        else:
+            inv_sqrt = 1.0 / np.sqrt(plan.counts + 1.0)
         if edge_index.shape[1]:
             norm = inv_sqrt[edge_index[0]] * inv_sqrt[edge_index[1]]
-            messages = (gather(h, edge_index[0]) + self.bond_encoder(edge_attr))
+            messages = (_gather_src(h, edge_index, ctx) + self.bond_encoder(edge_attr))
             messages = messages * Tensor(norm[:, None])
-            agg = segment_sum(messages, edge_index[1], num_nodes)
+            agg = segment_sum(messages, plan)
         else:
             agg = Tensor(np.zeros_like(h.data))
         self_term = h * Tensor(inv_sqrt[:, None] ** 2)
@@ -123,11 +139,12 @@ class SAGEConv(Module):
         self.bond_encoder = BondEncoder(dim, rng)
         self.linear = Linear(2 * dim, dim, rng)
 
-    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
+    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray,
+                ctx=None) -> Tensor:
         num_nodes = h.shape[0]
         if edge_index.shape[1]:
-            messages = gather(h, edge_index[0]) + self.bond_encoder(edge_attr)
-            agg = segment_mean(messages, edge_index[1], num_nodes)
+            messages = _gather_src(h, edge_index, ctx) + self.bond_encoder(edge_attr)
+            agg = segment_mean(messages, _edge_plan(ctx, edge_index, num_nodes))
         else:
             agg = Tensor(np.zeros_like(h.data))
         return self.linear(concatenate([h, agg], axis=-1)).relu()
@@ -154,7 +171,8 @@ class GATConv(Module):
             rng.normal(0.0, 0.1, size=(num_heads, dim))))
         self.bias = Parameter(np.zeros(dim))
 
-    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray) -> Tensor:
+    def forward(self, h: Tensor, edge_index: np.ndarray, edge_attr: np.ndarray,
+                ctx=None) -> Tensor:
         num_nodes = h.shape[0]
         heads, dim = self.num_heads, self.dim
         # (N, heads*d) -> (N, H, d); slice k of the flat layout is head k.
@@ -163,15 +181,18 @@ class GATConv(Module):
             # No messages to attend over: average all heads' projections
             # (the same head-mean the attention path applies).
             return projected.mean(axis=1) + self.bias
+        # One destination plan serves the softmax (max + sum) and the
+        # final aggregation — three segment reductions, one sort.
+        plan = _edge_plan(ctx, edge_index, num_nodes)
         bond = self.bond_encoder(edge_attr)  # (E, d), shared across heads
-        src_feat = gather(projected, edge_index[0]) + bond.reshape(-1, 1, dim)
-        dst_feat = gather(projected, edge_index[1])  # both (E, H, d)
+        src_feat = _gather_src(projected, edge_index, ctx) + bond.reshape(-1, 1, dim)
+        dst_feat = gather_segments(projected, plan)  # both (E, H, d)
         scores = (src_feat * self.att_src).sum(axis=-1) \
             + (dst_feat * self.att_dst).sum(axis=-1)  # (E, H)
         scores = scores.leaky_relu(self.negative_slope)
-        attn = segment_softmax(scores, edge_index[1], num_nodes)
+        attn = segment_softmax(scores, plan)
         weighted = src_feat * attn.reshape(-1, heads, 1)
-        agg = segment_sum(weighted, edge_index[1], num_nodes)  # (N, H, d)
+        agg = segment_sum(weighted, plan)  # (N, H, d)
         return agg.mean(axis=1) + self.bias
 
 

@@ -73,9 +73,13 @@ class GNNEncoder(Module):
         reusing this module's convolutions and norms.
         """
         h = h0
+        # Batches carry a cached edge-destination SegmentPlan (and GCN
+        # degree norms); duck-typed stand-ins without one fall back to the
+        # convs' per-forward plan construction.
+        ctx = batch if hasattr(batch, "edge_plan") else None
         layers: list[Tensor] = []
         for k, (conv, norm) in enumerate(zip(self.convs, self.norms)):
-            h = conv(h, batch.edge_index, batch.edge_attr)
+            h = conv(h, batch.edge_index, batch.edge_attr, ctx=ctx)
             h = norm(h)
             if k < self.num_layers - 1:
                 h = h.relu()
@@ -85,7 +89,8 @@ class GNNEncoder(Module):
 
     def layer_step(self, h: Tensor, batch: Batch, k: int) -> Tensor:
         """Apply layer ``k``'s conv+norm(+relu)+dropout to ``h`` (supernet hook)."""
-        h = self.convs[k](h, batch.edge_index, batch.edge_attr)
+        ctx = batch if hasattr(batch, "edge_plan") else None
+        h = self.convs[k](h, batch.edge_index, batch.edge_attr, ctx=ctx)
         h = self.norms[k](h)
         if k < self.num_layers - 1:
             h = h.relu()

@@ -68,10 +68,7 @@ class MeanFusion(Module):
     """Equal-weight average of layers."""
 
     def forward(self, layers: list[Tensor]) -> Tensor:
-        out = layers[0]
-        for layer in layers[1:]:
-            out = out + layer
-        return out * (1.0 / len(layers))
+        return stack(layers, axis=0).sum(axis=0) * (1.0 / len(layers))
 
 
 class PPRFusion(Module):
@@ -85,10 +82,8 @@ class PPRFusion(Module):
         self.weights = weights / weights.sum()
 
     def forward(self, layers: list[Tensor]) -> Tensor:
-        out = layers[0] * float(self.weights[0])
-        for w, layer in zip(self.weights[1:], layers[1:]):
-            out = out + layer * float(w)
-        return out
+        weights = Tensor(self.weights[:, None, None])
+        return (stack(layers, axis=0) * weights).sum(axis=0)
 
 
 class LSTMFusion(Module):
@@ -110,10 +105,9 @@ class LSTMFusion(Module):
         states = self.lstm(layers)  # K tensors (N, 2*hidden)
         scores = concatenate([self.scorer(s) for s in states], axis=-1)  # (N, K)
         attn = softmax(scores, axis=-1)
-        out = layers[0] * attn[:, 0:1]
-        for k in range(1, len(layers)):
-            out = out + layers[k] * attn[:, k:k + 1]
-        return out
+        # (K, N, d) * (K, N, 1) -> weighted sum over layers in one pass.
+        weights = attn.transpose((1, 0)).expand_dims(2)
+        return (stack(layers, axis=0) * weights).sum(axis=0)
 
 
 class GPRFusion(Module):
@@ -129,10 +123,8 @@ class GPRFusion(Module):
         self.gamma = Parameter(init / init.sum())
 
     def forward(self, layers: list[Tensor]) -> Tensor:
-        out = layers[0] * self.gamma[0]
-        for k in range(1, len(layers)):
-            out = out + layers[k] * self.gamma[k]
-        return out
+        weights = self.gamma.reshape(-1, 1, 1)
+        return (stack(layers, axis=0) * weights).sum(axis=0)
 
 
 def make_fusion(name: str, num_layers: int, dim: int,

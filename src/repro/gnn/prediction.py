@@ -59,7 +59,7 @@ class GraphPredictionModel(Module):
         """Return all intermediates (needed by DELTA / GTOT regularizers)."""
         layers = self.encoder(batch)
         fused = self.fusion(layers)
-        graph_repr = self.readout(fused, batch.batch, batch.num_graphs)
+        graph_repr = self.readout(fused, batch.node_plan(), batch.num_graphs)
         logits = self.head(graph_repr)
         return {
             "layers": layers,

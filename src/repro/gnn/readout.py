@@ -2,7 +2,12 @@
 
 Each candidate maps node representations to one vector per graph:
 
-``(h: (N, d), batch: (N,), num_graphs) -> (B, d)``
+``(h: (N, d), batch: (N,) ids or SegmentPlan, num_graphs) -> (B, d)``
+
+The ``batch`` argument may be the plain node->graph id vector or a
+precomputed :class:`~repro.nn.segment.SegmentPlan` over it — model-level
+callers pass ``Batch.node_plan()`` so the pooling plan is built once per
+collated batch and reused by every candidate, every epoch.
 
 Simple readouts (sum / mean / max pooling) are parameter-free; adaptive
 readouts (Set2Set, SortPool, NeuralPool) identify informative nodes or
@@ -15,8 +20,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import LSTMCell, Linear, MLP, Module, Tensor, concatenate, gather, segment_max, segment_mean, segment_sum
-from .conv import segment_softmax
+from ..nn import (
+    LSTMCell,
+    Linear,
+    MLP,
+    Module,
+    Tensor,
+    as_plan,
+    concatenate,
+    gather,
+    gather_segments,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
 
 __all__ = [
     "SumReadout",
@@ -35,21 +53,21 @@ READOUT_CANDIDATES = ["sum", "mean", "max", "set2set", "sort", "neural"]
 class SumReadout(Module):
     """Sum pooling — captures extensive (size-dependent) properties."""
 
-    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    def forward(self, h: Tensor, batch, num_graphs: int) -> Tensor:
         return segment_sum(h, batch, num_graphs)
 
 
 class MeanReadout(Module):
     """Mean pooling — the paper's (and Hu et al.'s) vanilla readout."""
 
-    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    def forward(self, h: Tensor, batch, num_graphs: int) -> Tensor:
         return segment_mean(h, batch, num_graphs)
 
 
 class MaxReadout(Module):
     """Channel-wise max pooling — dominant-feature detector."""
 
-    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    def forward(self, h: Tensor, batch, num_graphs: int) -> Tensor:
         return segment_max(h, batch, num_graphs)
 
 
@@ -68,14 +86,15 @@ class Set2SetReadout(Module):
         self.lstm = LSTMCell(2 * dim, dim, rng)
         self.proj = Linear(2 * dim, dim, rng)
 
-    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    def forward(self, h: Tensor, batch, num_graphs: int) -> Tensor:
+        plan = as_plan(batch, num_graphs)
         q_star = Tensor(np.zeros((num_graphs, 2 * self.dim)))
         state_h, state_c = self.lstm.initial_state(num_graphs)
         for _ in range(self.processing_steps):
             state_h, state_c = self.lstm(q_star, state_h, state_c)
-            scores = (h * gather(state_h, batch)).sum(axis=-1)
-            attn = segment_softmax(scores, batch, num_graphs)
-            readout = segment_sum(h * attn.reshape(-1, 1), batch, num_graphs)
+            scores = (h * gather_segments(state_h, plan)).sum(axis=-1)
+            attn = segment_softmax(scores, plan)
+            readout = segment_sum(h * attn.reshape(-1, 1), plan)
             q_star = concatenate([state_h, readout], axis=-1)
         return self.proj(q_star)
 
@@ -85,7 +104,12 @@ class SortPoolReadout(Module):
     keep the top-k per graph (zero-padded), flatten, and project to d.
 
     The sort order is computed outside the tape (a discrete decision);
-    gradients flow through the selected rows, as in the original.
+    gradients flow through the selected rows, as in the original.  The
+    selection is fully vectorized: one lexsort groups nodes by graph with
+    the sort channel descending inside each group, the plan's per-segment
+    offsets turn sorted positions into within-graph ranks, and a single
+    gather + scatter places the top-k rows into the padded ``(B, k*d)``
+    layout — no per-graph Python loop.
     """
 
     def __init__(self, dim: int, rng: np.random.Generator, k: int = 4):
@@ -94,18 +118,20 @@ class SortPoolReadout(Module):
         self.dim = dim
         self.proj = Linear(k * dim, dim, rng)
 
-    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
-        sort_channel = h.data[:, -1]
-        chunks: list[Tensor] = []
-        for g in range(num_graphs):
-            nodes = np.flatnonzero(batch == g)
-            order = nodes[np.argsort(-sort_channel[nodes])][: self.k]
-            selected = gather(h, order)  # (<=k, d)
-            if len(order) < self.k:
-                pad = Tensor(np.zeros((self.k - len(order), self.dim)))
-                selected = concatenate([selected, pad], axis=0)
-            chunks.append(selected.reshape(1, self.k * self.dim))
-        return self.proj(concatenate(chunks, axis=0))
+    def forward(self, h: Tensor, batch, num_graphs: int) -> Tensor:
+        plan = as_plan(batch, num_graphs)
+        ids = plan.segment_ids
+        # Group by graph, sort channel descending within each graph.
+        order = np.lexsort((-h.data[:, -1], ids))
+        seg_of_row = ids[order]
+        rank = np.arange(ids.size) - plan.offsets[seg_of_row]
+        keep = rank < self.k
+        selected = gather(h, order[keep])
+        # Scatter row j of graph g into padded slot g*k + j (slots are
+        # unique, so segment_sum is a pure scatter; missing slots stay 0).
+        slots = seg_of_row[keep] * self.k + rank[keep]
+        flat = segment_sum(selected, slots, num_graphs * self.k)
+        return self.proj(flat.reshape(num_graphs, self.k * self.dim))
 
 
 class NeuralPoolReadout(Module):
@@ -120,7 +146,7 @@ class NeuralPoolReadout(Module):
         self.pre = MLP([dim, dim, dim], rng, activate_last=True)
         self.post = MLP([dim, dim], rng)
 
-    def forward(self, h: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    def forward(self, h: Tensor, batch, num_graphs: int) -> Tensor:
         return self.post(segment_sum(self.pre(h), batch, num_graphs))
 
 

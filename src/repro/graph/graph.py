@@ -12,7 +12,13 @@ A :class:`Graph` stores one attributed molecule-like graph:
 
 :class:`Batch` is the disjoint union of many graphs with a ``batch`` vector
 mapping each node to its source graph — the representation every
-aggregation / readout primitive in :mod:`repro.nn.tensor` consumes.
+aggregation / readout primitive in :mod:`repro.nn.segment` consumes.  A
+batch is treated as immutable after collation, which lets it lazily build
+and cache the encoder-invariant precomputation every forward pass needs:
+the edge-destination :class:`~repro.nn.segment.SegmentPlan`, the
+node->graph plan, and GCN's symmetric degree norms.  Combined with
+``DataLoader(cache=True)`` these are computed once per split and reused
+across every epoch and every search/evolution/finetune phase.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..nn.segment import SegmentPlan
 
 __all__ = ["Graph", "Batch"]
 
@@ -142,6 +150,13 @@ class Batch:
             self.y = np.stack(labeled, axis=0)
         else:
             self.y = None
+        # Lazy per-batch precomputation (built on first use, then reused
+        # for the lifetime of the batch — i.e. every epoch under a caching
+        # loader).  Valid because collated arrays are never mutated.
+        self._edge_plan: SegmentPlan | None = None
+        self._edge_src_plan: SegmentPlan | None = None
+        self._node_plan: SegmentPlan | None = None
+        self._gcn_inv_sqrt_deg: np.ndarray | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -150,6 +165,46 @@ class Batch:
     @property
     def num_edges(self) -> int:
         return int(self.edge_index.shape[1])
+
+    def edge_plan(self) -> SegmentPlan:
+        """Cached reduction plan over edge destinations (``edge_index[1]``).
+
+        This is the plan every convolution's neighborhood aggregation and
+        attention softmax reduces with (segments = target nodes).
+        """
+        if self._edge_plan is None:
+            self._edge_plan = SegmentPlan(self.edge_index[1], self.num_nodes)
+        return self._edge_plan
+
+    def edge_src_plan(self) -> SegmentPlan:
+        """Cached reduction plan over edge sources (``edge_index[0]``).
+
+        Message passing gathers source-node features along this index on
+        every layer; the plan makes the gather's scatter-add adjoint run
+        through the fast segment-sum kernel.
+        """
+        if self._edge_src_plan is None:
+            self._edge_src_plan = SegmentPlan(self.edge_index[0], self.num_nodes)
+        return self._edge_src_plan
+
+    def node_plan(self) -> SegmentPlan:
+        """Cached reduction plan over the node->graph ``batch`` vector.
+
+        This is the plan every readout pools with (segments = graph ids).
+        """
+        if self._node_plan is None:
+            self._node_plan = SegmentPlan(self.batch, self.num_graphs)
+        return self._node_plan
+
+    def gcn_inv_sqrt_deg(self) -> np.ndarray:
+        """Cached ``1/sqrt(deg + 1)`` per node (GCN's symmetric norm).
+
+        Degrees come from the edge plan's counts (in-degree under the
+        directed edge list, plus the implicit self-loop).
+        """
+        if self._gcn_inv_sqrt_deg is None:
+            self._gcn_inv_sqrt_deg = 1.0 / np.sqrt(self.edge_plan().counts + 1.0)
+        return self._gcn_inv_sqrt_deg
 
     def label_mask(self) -> np.ndarray:
         """Boolean mask of present (non-nan) labels, shape (num_graphs, tasks)."""

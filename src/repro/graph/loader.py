@@ -10,6 +10,13 @@ Two iteration modes:
   concatenation cost of collation is paid once per split instead of once
   per epoch, which is what makes repeated supernet sweeps (search epochs,
   per-candidate validation scoring) cheap.
+
+Because a :class:`Batch` lazily caches its segment plans (edge-destination
+plan, node->graph plan, GCN degree norms — see :mod:`repro.nn.segment`),
+cached mode also amortizes that per-batch precomputation: the first forward
+over each batch builds its plans, and every later epoch — and every phase
+(searcher, evolution, finetune) sharing the loader — reuses them.  Fresh
+mode re-collates per epoch and therefore also rebuilds plans per epoch.
 """
 
 from __future__ import annotations

@@ -15,6 +15,17 @@ from .module import Module, ModuleDict, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .rnn import LSTM, LSTMCell
 from .schedulers import CosineAnnealingLR, LRScheduler, StepLR, WarmupLR
+from .segment import (
+    SegmentPlan,
+    active_backend,
+    as_plan,
+    gather_segments,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    use_backend,
+)
 from .serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
 from .tensor import (
     Tensor,
@@ -22,9 +33,6 @@ from .tensor import (
     concatenate,
     gather,
     no_grad,
-    segment_max,
-    segment_mean,
-    segment_sum,
     stack,
     where,
 )
@@ -39,9 +47,15 @@ __all__ = [
     "stack",
     "where",
     "gather",
+    "gather_segments",
+    "SegmentPlan",
+    "as_plan",
     "segment_sum",
     "segment_mean",
     "segment_max",
+    "segment_softmax",
+    "use_backend",
+    "active_backend",
     "Module",
     "ModuleDict",
     "ModuleList",

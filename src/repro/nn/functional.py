@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, concatenate, gather, segment_max, segment_mean, segment_sum, stack, where
+from .segment import segment_max, segment_mean, segment_softmax, segment_sum
+from .tensor import Tensor, as_tensor, concatenate, gather, stack, where
 
 __all__ = [
     "relu",
@@ -176,6 +177,7 @@ F_EXPORTS = {
     "segment_sum": segment_sum,
     "segment_mean": segment_mean,
     "segment_max": segment_max,
+    "segment_softmax": segment_softmax,
 }
 globals().update(F_EXPORTS)
 __all__ += list(F_EXPORTS)

@@ -1,0 +1,386 @@
+"""Segment-reduction kernel layer: ``SegmentPlan`` + plan-aware autograd ops.
+
+Every hot path of the reproduction — neighborhood aggregation in all conv
+candidates, ``segment_softmax`` (GAT, Set2Set), and every graph readout —
+bottoms out in segment reductions.  The legacy implementations in
+:mod:`repro.nn.tensor` use ``np.add.at`` / ``np.maximum.at``, which are an
+order of magnitude slower than ``np.add.reduceat`` / ``np.maximum.reduceat``
+over sorted rows.  This module provides the fast backend:
+
+* :class:`SegmentPlan` — a precomputed, reusable reduction plan for one
+  index array: stable sort permutation, per-segment counts / start offsets
+  / ``indptr``, the non-empty segment list, and the count reciprocals used
+  by :func:`segment_mean` (computed once, not per call).
+* plan-aware :func:`segment_sum` / :func:`segment_mean` /
+  :func:`segment_max` / :func:`segment_softmax` / :func:`gather_segments`
+  — autograd ops over the plan's sorted layout whose gradients stay pure
+  gathers/scatters through the plan.  Each accepts either a
+  :class:`SegmentPlan` or a plain index array (a throwaway plan is built on
+  the fly), so standalone callers keep the historical
+  ``op(x, segment_ids, num_segments)`` signature.
+
+Kernel execution
+----------------
+The plan's sorted-run structure (``indptr`` / ``starts``) is exactly the
+row-pointer layout of a CSR selection matrix, and modern numpy's
+``ufunc.at`` fast paths mean a naive ``np.add.reduceat`` sweep no longer
+beats ``np.add.at``.  The sum/mean kernels therefore execute the reduceat
+recurrence as a cached CSR matvec (``scipy.sparse``) when scipy is
+available — bit-identical to the sequential ``np.add.at`` accumulation,
+since the stable sort preserves each segment's appearance order — and fall
+back to ``np.add.reduceat`` over sorted rows otherwise.  ``segment_max``
+runs a rank-sliced "vertical" max across segments (one vectorized pass per
+within-segment rank, indices precomputed in the plan), switching to
+``np.maximum.reduceat`` when segments are long and few.
+
+Plan contract
+-------------
+A plan is a pure function of ``(segment_ids, num_segments)`` and is valid
+for any tensor whose leading dimension equals ``plan.num_items``:
+
+* **Reuse** — a plan may be reused across calls, ops, epochs and models, as
+  long as the index array it was built from is unchanged.  ``Batch`` caches
+  an edge-destination plan and a node->graph plan precisely because its
+  arrays are frozen after collation; ``DataLoader(cache=True)`` therefore
+  amortizes plan construction across all epochs and across the
+  searcher/evolution/finetune phases of a run.
+* **Invalidation** — there is none in place: plans hold copies of nothing
+  and snapshot views of nothing, but they do capture the *values* of the
+  index array at build time.  If you mutate ``segment_ids``,
+  ``edge_index`` or the batch vector afterwards, build a new plan (for
+  ``Batch``, build a new batch; batches are treated as immutable).
+* **Determinism** — the sort is stable, so rows of the same segment are
+  reduced in their original relative order; plan-aware and plain-index
+  call paths produce bit-identical outputs and gradients.
+
+The legacy ``np.add.at`` ops remain available as a reference backend for
+differential testing: ``with use_backend("legacy"): ...`` routes every op
+through :mod:`repro.nn.tensor`'s implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import tensor as _tensor
+from .tensor import Tensor, as_tensor, gather
+
+try:  # scipy ships in the image; the kernels degrade gracefully without it.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - exercised only on scipy-free installs
+    _sparse = None
+
+__all__ = [
+    "SegmentPlan",
+    "as_plan",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "gather_segments",
+    "use_backend",
+    "active_backend",
+]
+
+#: Above this within-segment rank count the vertical max (one pass per
+#: rank) degenerates; long, few segments are ``reduceat``'s good regime.
+_VERTICAL_MAX_RANK_LIMIT = 64
+
+
+_BACKENDS = ("reduceat", "legacy")
+_ACTIVE_BACKEND = ["reduceat"]
+
+
+def active_backend() -> str:
+    """Name of the backend segment ops currently dispatch to."""
+    return _ACTIVE_BACKEND[-1]
+
+
+class use_backend:
+    """Context manager selecting the segment-op backend.
+
+    ``"reduceat"`` (default) is the plan-backed fast path; ``"legacy"``
+    routes through the ``np.add.at`` reference implementations in
+    :mod:`repro.nn.tensor` for differential testing.
+    """
+
+    def __init__(self, name: str):
+        if name not in _BACKENDS:
+            raise ValueError(f"unknown backend {name!r}; known: {_BACKENDS}")
+        self.name = name
+
+    def __enter__(self):
+        _ACTIVE_BACKEND.append(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _ACTIVE_BACKEND.pop()
+        return False
+
+
+class SegmentPlan:
+    """Precomputed reduction plan for one ``(segment_ids, num_segments)``.
+
+    Attributes
+    ----------
+    segment_ids:
+        The original ``(num_items,)`` int64 index array.
+    order:
+        Stable argsort of ``segment_ids`` — rows of the same segment keep
+        their original relative order, so ``reduceat`` reduces them in the
+        same sequence ``np.add.at`` would.
+    counts / offsets / indptr:
+        Per-segment row count, start offset in the sorted layout
+        (``offsets[s] = sum(counts[:s])``, defined for empty segments too),
+        and the CSR row-pointer ``indptr = [0, cumsum(counts)]``.
+    segments / starts:
+        Non-empty segment ids and their row starts — the ``indices``
+        argument handed to ``np.*.reduceat`` (strictly increasing).
+    inv_counts:
+        ``1 / max(counts, 1)`` — the :func:`segment_mean` reciprocals,
+        computed once here instead of per call.
+    full:
+        True when every segment is non-empty (the common case for
+        node->graph plans), enabling a copy-free ``reduceat`` result.
+
+    The CSR selection matrix and the vertical-max rank slices are built
+    lazily on first use and cached for the plan's lifetime.
+    """
+
+    __slots__ = ("segment_ids", "num_segments", "num_items", "order",
+                 "counts", "offsets", "indptr", "segments", "starts",
+                 "inv_counts", "full", "_csr", "_rank_slices")
+
+    def __init__(self, segment_ids: np.ndarray, num_segments: int):
+        ids = np.asarray(segment_ids, dtype=np.int64).reshape(-1)
+        num_segments = int(num_segments)
+        if num_segments < 0:
+            raise ValueError("num_segments must be non-negative")
+        if ids.size and (ids.min() < 0 or ids.max() >= num_segments):
+            raise ValueError(
+                f"segment ids out of range [0, {num_segments}): "
+                f"({ids.min()}, {ids.max()})"
+            )
+        self.segment_ids = ids
+        self.num_segments = num_segments
+        self.num_items = int(ids.size)
+        self.order = np.argsort(ids, kind="stable")
+        counts = np.bincount(ids, minlength=num_segments)
+        self.counts = counts
+        cumulative = np.cumsum(counts)
+        self.offsets = cumulative - counts
+        self.indptr = np.concatenate([[0], cumulative])
+        self.segments = np.flatnonzero(counts)
+        self.starts = self.offsets[self.segments]
+        self.inv_counts = 1.0 / np.maximum(counts, 1.0)
+        self.full = self.segments.size == num_segments
+        self._csr = None
+        self._rank_slices = None
+
+    def csr(self):
+        """Cached ``(num_segments, num_items)`` CSR selection matrix.
+
+        Row ``s`` selects the rows of segment ``s`` in their original
+        appearance order, so ``csr @ x`` accumulates exactly like
+        ``np.add.at``.  Returns None when scipy is unavailable.
+        """
+        if _sparse is None:
+            return None
+        if self._csr is None:
+            self._csr = _sparse.csr_matrix(
+                (np.ones(self.num_items), self.order, self.indptr),
+                shape=(self.num_segments, self.num_items),
+            )
+        return self._csr
+
+    def rank_slices(self) -> list:
+        """Cached vertical-max passes: ``(segment ids, sorted-row positions)``
+        of every segment's rank-r row, for r = 1 .. max_count-1."""
+        if self._rank_slices is None:
+            max_count = int(self.counts.max()) if self.counts.size else 0
+            slices = []
+            for rank in range(1, max_count):
+                sel = np.flatnonzero(self.counts > rank)
+                slices.append((sel, self.offsets[sel] + rank))
+            self._rank_slices = slices
+        return self._rank_slices
+
+    def __repr__(self) -> str:
+        return (f"SegmentPlan(num_items={self.num_items}, "
+                f"num_segments={self.num_segments}, full={self.full})")
+
+
+def as_plan(index, num_segments: int | None = None) -> SegmentPlan:
+    """Coerce ``index`` (plan or index array) to a :class:`SegmentPlan`."""
+    if isinstance(index, SegmentPlan):
+        if num_segments is not None and int(num_segments) != index.num_segments:
+            raise ValueError(
+                f"plan covers {index.num_segments} segments, caller asked for {num_segments}"
+            )
+        return index
+    if num_segments is None:
+        raise ValueError("num_segments is required when passing a plain index array")
+    return SegmentPlan(index, num_segments)
+
+
+def _ids_of(index, num_segments: int | None) -> tuple[np.ndarray, int]:
+    """``(segment_ids, num_segments)`` from a plan or a plain index array."""
+    if isinstance(index, SegmentPlan):
+        return index.segment_ids, index.num_segments
+    if num_segments is None:
+        raise ValueError("num_segments is required when passing a plain index array")
+    return np.asarray(index, dtype=np.int64), int(num_segments)
+
+
+def _reduce_sum_data(x_data: np.ndarray, plan: SegmentPlan) -> np.ndarray:
+    """Per-segment sum of ``x_data`` rows (CSR matvec, reduceat fallback).
+
+    Both paths accumulate each segment's rows in original appearance
+    order, exactly matching the sequential ``np.add.at`` reference.
+    """
+    tail = x_data.shape[1:]
+    if plan.starts.size == 0:
+        return np.zeros((plan.num_segments,) + tail, dtype=np.float64)
+    csr = plan.csr()
+    if csr is not None:
+        if x_data.ndim <= 2:
+            return csr @ x_data
+        flat = csr @ x_data.reshape(plan.num_items, -1)
+        return flat.reshape((plan.num_segments,) + tail)
+    sums = np.add.reduceat(x_data[plan.order], plan.starts, axis=0)
+    if plan.full:
+        return sums
+    out = np.zeros((plan.num_segments,) + tail, dtype=np.float64)
+    out[plan.segments] = sums
+    return out
+
+
+def _reduce_max_data(x_data: np.ndarray, plan: SegmentPlan) -> np.ndarray:
+    """Per-segment max of ``x_data`` rows (empty segments yield zeros)."""
+    out = np.zeros((plan.num_segments,) + x_data.shape[1:], dtype=np.float64)
+    if plan.starts.size == 0:
+        return out
+    max_count = int(plan.counts.max())
+    if max_count <= _VERTICAL_MAX_RANK_LIMIT:
+        # Vertical max: seed with each segment's rank-0 row, then fold in
+        # one vectorized pass per remaining within-segment rank.
+        xs = x_data[plan.order]
+        out[plan.segments] = xs[plan.starts]
+        for sel, pos in plan.rank_slices():
+            out[sel] = np.maximum(out[sel], xs[pos])
+        return out
+    maxs = np.maximum.reduceat(x_data[plan.order], plan.starts, axis=0)
+    if plan.full:
+        return maxs
+    out[plan.segments] = maxs
+    return out
+
+
+def segment_sum(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Sum rows of ``x`` per segment; ``index`` is a plan or an id array.
+
+    Forward is the plan's cached CSR matvec (sorted-row ``reduceat``
+    without scipy); the adjoint is the same pure gather ``g[segment_ids]``
+    as the legacy op.
+    """
+    x = as_tensor(x)
+    if _ACTIVE_BACKEND[-1] == "legacy":
+        ids, n = _ids_of(index, num_segments)
+        return _tensor.segment_sum(x, ids, n)
+    plan = as_plan(index, num_segments)
+    out_data = _reduce_sum_data(x.data, plan)
+
+    def backward(g):
+        if x.requires_grad:
+            x._accumulate(g[plan.segment_ids])
+
+    return Tensor._result(out_data, (x,), "segment_sum", backward)
+
+
+def segment_mean(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Mean-pool rows per segment (empty segments yield zeros).
+
+    The count reciprocals come precomputed from the plan, so repeated calls
+    (every SAGE layer, every mean readout, every epoch) do not rebuild a
+    ``bincount`` + reciprocal tensor.
+    """
+    x = as_tensor(x)
+    if _ACTIVE_BACKEND[-1] == "legacy":
+        ids, n = _ids_of(index, num_segments)
+        return _tensor.segment_mean(x, ids, n)
+    plan = as_plan(index, num_segments)
+    inv = plan.inv_counts.reshape((plan.num_segments,) + (1,) * (x.ndim - 1))
+    out_data = _reduce_sum_data(x.data, plan) * inv
+
+    def backward(g):
+        if x.requires_grad:
+            x._accumulate((g * inv)[plan.segment_ids])
+
+    return Tensor._result(out_data, (x,), "segment_mean", backward)
+
+
+def segment_max(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Max-pool rows per segment (empty segments yield zeros).
+
+    Gradient splits evenly between ties inside each segment, exactly like
+    the legacy op; the tie counts are themselves one ``reduceat`` sweep.
+    """
+    x = as_tensor(x)
+    if _ACTIVE_BACKEND[-1] == "legacy":
+        ids, n = _ids_of(index, num_segments)
+        return _tensor.segment_max(x, ids, n)
+    plan = as_plan(index, num_segments)
+    out_data = _reduce_max_data(x.data, plan)
+
+    def backward(g):
+        if not x.requires_grad:
+            return
+        winners = x.data == out_data[plan.segment_ids]
+        tie_counts = np.maximum(_reduce_sum_data(winners.astype(np.float64), plan), 1.0)
+        x._accumulate(np.where(
+            winners, g[plan.segment_ids] / tie_counts[plan.segment_ids], 0.0))
+
+    return Tensor._result(out_data, (x,), "segment_max", backward)
+
+
+def gather_segments(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Row-gather ``x[segment_ids]`` with a plan-backed scatter adjoint.
+
+    Forward is identical to :func:`repro.nn.tensor.gather`; the adjoint —
+    a scatter-add of the output gradient back onto the segments — runs
+    through the plan's sum kernel instead of ``np.add.at``.  Use it when
+    the gather index *is* a plan's segment-id array (broadcasting per-node
+    state to edges, per-graph state to nodes).
+    """
+    x = as_tensor(x)
+    if _ACTIVE_BACKEND[-1] == "legacy":
+        ids, _ = _ids_of(index, num_segments)
+        return gather(x, ids)
+    plan = as_plan(index, num_segments)
+    out_data = x.data[plan.segment_ids]
+
+    def backward(g):
+        if x.requires_grad:
+            x._accumulate(_reduce_sum_data(np.asarray(g, dtype=np.float64), plan))
+
+    return Tensor._result(out_data, (x,), "gather_segments", backward)
+
+
+def segment_softmax(scores: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Softmax of ``scores`` grouped by segment (per-destination attention).
+
+    Canonical implementation for GAT, Set2Set and any attention fusion: the
+    per-segment max is subtracted as a constant for numerical stability;
+    gradients flow through the exponential and normalizer exactly.  When a
+    plain index array is given under the fast backend, one plan is built
+    here and shared by the max / sum / gather sub-ops.
+    """
+    scores = as_tensor(scores)
+    if _ACTIVE_BACKEND[-1] != "legacy":
+        index = as_plan(index, num_segments)
+        num_segments = None
+    seg_max = segment_max(scores, index, num_segments).detach()
+    shifted = scores - gather_segments(seg_max, index, num_segments)
+    exp = shifted.exp()
+    denom = segment_sum(exp, index, num_segments)
+    return exp / (gather_segments(denom, index, num_segments) + 1e-16)

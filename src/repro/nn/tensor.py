@@ -558,6 +558,11 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
 
     Used both for neighborhood aggregation (segments = target nodes) and
     graph readout (segments = graph ids in a batch).
+
+    This ``np.add.at`` implementation is the *legacy reference backend*;
+    the hot-path ops live in :mod:`repro.nn.segment` (plan-backed
+    ``reduceat``) and dispatch here under ``use_backend("legacy")`` for
+    differential testing.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     out_data = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)

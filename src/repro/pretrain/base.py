@@ -110,7 +110,7 @@ def nt_xent_loss(z1: Tensor, z2: Tensor, temperature: float = 0.5) -> Tensor:
 
 
 def mean_pool_graphs(node_repr: Tensor, batch: Batch) -> Tensor:
-    """Mean-pool node representations per graph."""
+    """Mean-pool node representations per graph (via the cached node plan)."""
     from ..nn import segment_mean
 
-    return segment_mean(node_repr, batch.batch, batch.num_graphs)
+    return segment_mean(node_repr, batch.node_plan(), batch.num_graphs)

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..gnn.encoder import GNNEncoder
 from ..graph.graph import Batch, Graph
-from ..nn import Parameter, Tensor, gather, init
+from ..nn import Parameter, Tensor, gather, gather_segments, init
 from ..nn.functional import binary_cross_entropy_with_logits
 from .base import PretrainTask, mean_pool_graphs
 
@@ -40,7 +40,7 @@ class InfomaxTask(PretrainTask):
         perm = rng.permutation(batch.num_nodes)
         corrupted = gather(node_repr, perm)
 
-        node_summary = gather(summary, batch.batch)  # (N, d)
+        node_summary = gather_segments(summary, batch.node_plan())  # (N, d)
         pos_logits = (node_repr @ self.discriminator * node_summary).sum(axis=-1)
         neg_logits = (corrupted @ self.discriminator * node_summary).sum(axis=-1)
 

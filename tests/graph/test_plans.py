@@ -1,0 +1,67 @@
+"""Tests for Batch-level plan caching and its amortization by DataLoader."""
+
+import numpy as np
+
+from repro.graph import Batch, DataLoader
+from repro.nn import SegmentPlan
+
+
+class TestBatchPlanCache:
+    def test_edge_plan_cached_and_correct(self, molecules):
+        batch = Batch(molecules[:5])
+        plan = batch.edge_plan()
+        assert plan is batch.edge_plan()  # same object every call
+        assert isinstance(plan, SegmentPlan)
+        assert plan.num_segments == batch.num_nodes
+        assert np.array_equal(plan.segment_ids, batch.edge_index[1])
+        assert np.array_equal(plan.counts,
+                              np.bincount(batch.edge_index[1],
+                                          minlength=batch.num_nodes))
+
+    def test_edge_src_plan_cached_and_correct(self, molecules):
+        batch = Batch(molecules[:5])
+        plan = batch.edge_src_plan()
+        assert plan is batch.edge_src_plan()
+        assert plan.num_segments == batch.num_nodes
+        assert np.array_equal(plan.segment_ids, batch.edge_index[0])
+
+    def test_node_plan_cached_and_correct(self, molecules):
+        batch = Batch(molecules[:5])
+        plan = batch.node_plan()
+        assert plan is batch.node_plan()
+        assert plan.num_segments == batch.num_graphs
+        assert np.array_equal(plan.segment_ids, batch.batch)
+        assert plan.full  # every graph has at least one node
+
+    def test_gcn_norm_cached_and_matches_bincount(self, molecules):
+        batch = Batch(molecules[:5])
+        norm = batch.gcn_inv_sqrt_deg()
+        assert norm is batch.gcn_inv_sqrt_deg()
+        deg = np.bincount(batch.edge_index[1], minlength=batch.num_nodes) + 1.0
+        assert np.array_equal(norm, 1.0 / np.sqrt(deg))
+
+    def test_plans_are_lazy(self, molecules):
+        batch = Batch(molecules[:3])
+        assert batch._edge_plan is None
+        assert batch._node_plan is None
+        batch.edge_plan()
+        assert batch._edge_plan is not None
+        assert batch._node_plan is None
+
+
+class TestLoaderAmortization:
+    def test_cached_loader_reuses_plans_across_epochs(self, molecules):
+        loader = DataLoader(molecules, batch_size=8, shuffle=True,
+                            rng=np.random.default_rng(0), cache=True)
+        first = {id(b): (b.edge_plan(), b.node_plan()) for b in loader}
+        for _ in range(2):
+            for b in loader:
+                edge, node = first[id(b)]
+                assert b.edge_plan() is edge
+                assert b.node_plan() is node
+
+    def test_fresh_loader_rebuilds_batches_and_plans(self, molecules):
+        loader = DataLoader(molecules, batch_size=8, cache=False)
+        plans_a = [b.edge_plan() for b in loader]
+        plans_b = [b.edge_plan() for b in loader]
+        assert all(pa is not pb for pa in plans_a for pb in plans_b)
