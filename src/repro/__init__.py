@@ -10,7 +10,7 @@ Public API highlights:
 * :mod:`repro.finetune` — every baseline fine-tuning strategy (Tab. II).
 """
 
-from . import core, finetune, gnn, graph, metrics, nn, pretrain
+from . import core, finetune, gnn, graph, metrics, nn, pretrain, serve
 from .core import (
     DEFAULT_SPACE,
     FineTuneSpace,
@@ -19,6 +19,7 @@ from .core import (
     S2PGNNSearcher,
     SearchConfig,
 )
+from .serve import BatchCacheRegistry, InferenceService, ModelRegistry
 
 __version__ = "1.0.0"
 
@@ -30,6 +31,10 @@ __all__ = [
     "finetune",
     "core",
     "metrics",
+    "serve",
+    "InferenceService",
+    "ModelRegistry",
+    "BatchCacheRegistry",
     "S2PGNNFineTuner",
     "S2PGNNSearcher",
     "SearchConfig",

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper table from the shell.
+"""Command-line interface: paper tables plus the batch-serving demo.
 
 Usage::
 
@@ -6,8 +6,15 @@ Usage::
     python -m repro.cli table7
     python -m repro.cli table9 --datasets bbbp bace
     python -m repro.cli space           # Remark 3 space-size check
+    python -m repro.cli score --specs 8 # search, then fan-out spec scoring
+    python -m repro.cli serve           # + repeated-request throughput demo
 
-Results are printed in the paper's row layout (see
+``score`` runs a short strategy search and then scores candidate specs
+through :class:`repro.serve.InferenceService` — every spec is evaluated
+against one shared, pre-collated batch cache via the supernet's one-hot
+fast path.  ``serve`` additionally drives repeated prediction requests
+against the persistent derived model and reports requests/sec.  Table
+results are printed in the paper's row layout (see
 :mod:`repro.experiments.tables`).
 """
 
@@ -15,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .experiments import configs, runner, tables
 
@@ -72,8 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_TABLES) + ["space"],
-        help="which paper table to regenerate ('space' prints Remark 3 numbers)",
+        choices=sorted(_TABLES) + ["space", "score", "serve"],
+        help="paper table to regenerate, 'space' (Remark 3 numbers), "
+             "'score' (many-spec serving fan-out) or 'serve' "
+             "(score + repeated-request throughput)",
     )
     parser.add_argument(
         "--tier", choices=["smoke", "bench"], default="bench",
@@ -83,7 +93,110 @@ def build_parser() -> argparse.ArgumentParser:
         "--datasets", nargs="*", default=None,
         help="restrict to a subset of datasets (default: the table's full set)",
     )
+    serving = parser.add_argument_group("score/serve options")
+    serving.add_argument(
+        "--dataset", default="bbbp",
+        help="downstream dataset for score/serve (default: bbbp)")
+    serving.add_argument(
+        "--size", type=int, default=120,
+        help="dataset subsample size for score/serve")
+    serving.add_argument(
+        "--specs", type=int, default=6,
+        help="number of random candidate specs to score beyond the derived one")
+    serving.add_argument(
+        "--batch-size", type=int, default=64,
+        help="serving batch size")
+    serving.add_argument(
+        "--search-epochs", type=int, default=2,
+        help="bi-level search epochs before serving")
+    serving.add_argument(
+        "--method", default="none",
+        help="pre-training method from the zoo ('none' = fresh encoder; "
+             "e.g. contextpred, graphcl)")
+    serving.add_argument(
+        "--layers", type=int, default=3, help="encoder depth for score/serve")
+    serving.add_argument(
+        "--emb-dim", type=int, default=32,
+        help="encoder embedding width for score/serve")
+    serving.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _run_serving(args, demo_requests: bool) -> int:
+    """``score`` / ``serve``: search briefly, then serve spec scores.
+
+    One :class:`~repro.serve.BatchCacheRegistry` backs the whole run —
+    the searcher populates it, and the service then scores every
+    candidate spec (and answers prediction requests) without ever
+    re-collating a split.
+    """
+    import numpy as np
+
+    from .core.search import S2PGNNSearcher, SearchConfig
+    from .gnn import GNNEncoder
+    from .graph import load_dataset
+    from .serve import BatchCacheRegistry, InferenceService
+
+    def make_encoder():
+        if args.method == "none":
+            return GNNEncoder("gin", num_layers=args.layers, emb_dim=args.emb_dim,
+                              dropout=0.0, seed=args.seed)
+        from .pretrain import get_pretrained
+
+        return get_pretrained(args.method, backbone="gin", num_layers=args.layers,
+                              emb_dim=args.emb_dim, seed=args.seed)
+
+    dataset = load_dataset(args.dataset, size=args.size)
+    _, valid_graphs, test_graphs = dataset.split()
+    cache = BatchCacheRegistry()
+    print(f"dataset: {dataset.info.name} ({len(dataset)} graphs, "
+          f"metric={dataset.info.metric})")
+
+    searcher = S2PGNNSearcher(
+        make_encoder(), dataset,
+        config=SearchConfig(epochs=args.search_epochs,
+                            eval_batch_size=args.batch_size, seed=args.seed),
+        batch_cache=cache,
+    )
+    result = searcher.search()
+    print(f"search: {args.search_epochs} epoch(s) in {result.seconds:.2f}s, "
+          f"derived {result.spec.describe()}")
+
+    service = InferenceService(
+        make_encoder, dataset.num_tasks, supernet=result.supernet,
+        batch_cache=cache, batch_size=args.batch_size, seed=args.seed,
+    )
+    rng = np.random.default_rng((args.seed, 77))
+    specs = [result.spec] + [
+        searcher.space.random_spec(args.layers, rng) for _ in range(args.specs)
+    ]
+    start = time.perf_counter()
+    scores = service.score_specs(specs, valid_graphs, metric=dataset.info.metric,
+                                 batch_size=args.batch_size)
+    elapsed = time.perf_counter() - start
+    print(f"\nscored {len(scores)} specs on the validation split "
+          f"in {elapsed:.3f}s ({len(scores) / elapsed:.1f} specs/s):")
+    for entry in sorted(scores, key=lambda e: e.score, reverse=True):
+        marker = " <- derived" if entry.spec == result.spec else ""
+        print(f"  {entry.score:8.4f}  {entry.spec.describe()}{marker}")
+
+    if demo_requests:
+        best = max(scores, key=lambda e: e.score).spec
+        service.warm(test_graphs)
+        requests = 20
+        start = time.perf_counter()
+        for _ in range(requests):
+            service.predict(test_graphs, best)
+        elapsed = time.perf_counter() - start
+        print(f"\nserved {requests} prediction requests over "
+              f"{len(test_graphs)} graphs in {elapsed:.3f}s "
+              f"({requests / elapsed:.1f} requests/s)")
+
+    stats = service.stats()
+    print(f"\ncache stats: {stats['batches']['hits']} batch-cache hits, "
+          f"{stats['batches']['misses']} misses, "
+          f"{stats['batches']['collations']} collations total")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,6 +209,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"K={k}: |space| = {DEFAULT_SPACE.size(k):,}")
         print("paper Remark 3: 10,206 for the 5-layer GIN backbone")
         return 0
+
+    if args.target in ("score", "serve"):
+        return _run_serving(args, demo_requests=args.target == "serve")
 
     scale = configs.SMOKE_SCALE if args.tier == "smoke" else configs.BENCH_SCALE
     run, render = _TABLES[args.target]

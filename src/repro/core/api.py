@@ -26,9 +26,6 @@ import numpy as np
 
 from ..finetune.base import FineTuneResult, FineTuneStrategy, finetune
 from ..graph.datasets import MolecularDataset
-from ..graph.graph import Batch
-from ..graph.loader import DataLoader
-from ..nn import no_grad
 from .search import S2PGNNSearcher, SearchConfig, SearchResult
 from .space import DEFAULT_SPACE, FineTuneSpace, FineTuneStrategySpec
 from .supernet import DerivedModel
@@ -63,6 +60,13 @@ class S2PGNNFineTuner:
         Optional additional regularized fine-tuning strategy applied during
         the derived-model phase (the paper notes regularizers like GTOT are
         orthogonal and combinable with S2PGNN).
+    batch_cache:
+        A :class:`~repro.serve.cache.BatchCacheRegistry` shared by every
+        phase this tuner runs: search derivation, fine-tune early-stop /
+        test evaluation, and :meth:`predict` all draw their evaluation
+        batches from it, so each split is collated and segment-planned
+        once per run.  A private registry is created when omitted; pass
+        one in to share with an :class:`~repro.serve.InferenceService`.
     """
 
     def __init__(
@@ -73,6 +77,7 @@ class S2PGNNFineTuner:
         finetune_config: FineTuneConfig | None = None,
         strategy: FineTuneStrategy | None = None,
         seed: int = 0,
+        batch_cache=None,
     ):
         self.encoder_factory = encoder_factory
         self.space = space
@@ -80,6 +85,11 @@ class S2PGNNFineTuner:
         self.finetune_config = finetune_config or FineTuneConfig()
         self.strategy = strategy
         self.seed = seed
+        if batch_cache is None:
+            from ..serve.cache import BatchCacheRegistry
+
+            batch_cache = BatchCacheRegistry()
+        self.batch_cache = batch_cache
 
         self.best_spec_: FineTuneStrategySpec | None = None
         self.search_result_: SearchResult | None = None
@@ -90,7 +100,8 @@ class S2PGNNFineTuner:
     def search(self, dataset: MolecularDataset) -> FineTuneStrategySpec:
         """Phase 1: bi-level strategy search on the dataset's train/val splits."""
         searcher = S2PGNNSearcher(
-            self.encoder_factory(), dataset, space=self.space, config=self.search_config
+            self.encoder_factory(), dataset, space=self.space,
+            config=self.search_config, batch_cache=self.batch_cache,
         )
         self.search_result_ = searcher.search()
         self.best_spec_ = self.search_result_.spec
@@ -119,18 +130,28 @@ class S2PGNNFineTuner:
             lr=cfg.lr,
             patience=cfg.patience,
             seed=self.seed,
+            batch_cache=self.batch_cache,
         )
         self.result_.strategy = "s2pgnn"
         return self.result_
 
     def predict(self, graphs, batch_size: int = 64) -> np.ndarray:
-        """Predict logits/values for a list of graphs with the fitted model."""
+        """Predict logits/values for a list of graphs with the fitted model.
+
+        Batches come from the tuner's shared
+        :class:`~repro.serve.cache.BatchCacheRegistry`, so repeated
+        predictions over the same graphs (a serving loop, or the test
+        split the fine-tune phase already collated) never re-collate.
+        Cached batches snapshot collation-time values — if you mutate
+        graphs between calls, run ``self.batch_cache.invalidate(graphs)``
+        first to re-collate.  The model's previous train/eval mode is
+        restored afterwards — predicting mid-training no longer silently
+        flips an eval-mode model back to training.
+        """
+        from ..serve.service import _eval_logits
+
         if self.model_ is None:
             raise RuntimeError("call fit() before predict()")
-        self.model_.eval()
-        preds = []
-        with no_grad():
-            for batch in DataLoader(graphs, batch_size=batch_size):
-                preds.append(self.model_(batch).data.copy())
-        self.model_.train()
-        return np.concatenate(preds, axis=0)
+        return _eval_logits(self.model_,
+                            self.batch_cache.loader(graphs, batch_size),
+                            self.model_, self.model_.num_tasks)

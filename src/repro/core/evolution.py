@@ -62,6 +62,7 @@ class EvolutionarySearcher:
         dataset: MolecularDataset,
         space: FineTuneSpace = DEFAULT_SPACE,
         config: EvolutionConfig | None = None,
+        batch_cache=None,
     ):
         self.config = config or EvolutionConfig()
         self.space = space
@@ -69,6 +70,14 @@ class EvolutionarySearcher:
         self.supernet = S2PGNNSupernet(
             encoder, space, num_tasks=dataset.num_tasks, seed=self.config.seed
         )
+        # Shared evaluation-batch cache (repro.serve.cache); passing the
+        # run-wide registry shares the validation split's collated batches
+        # with the searcher / fine-tune / serving phases of the same run.
+        if batch_cache is None:
+            from ..serve.cache import BatchCacheRegistry
+
+            batch_cache = BatchCacheRegistry()
+        self.batch_cache = batch_cache
 
     # ------------------------------------------------------------------
     def _train_shared_weights(self, train_graphs, rng) -> None:
@@ -94,9 +103,10 @@ class EvolutionarySearcher:
         """Validation score of a spec under shared weights (no retraining)."""
         from .search import S2PGNNSearcher
 
-        # Reuse the searcher's evaluation path on our supernet.  The shim is
-        # kept across generations so its cached evaluation loader collates
-        # the validation split exactly once per search.
+        # Reuse the searcher's evaluation path on our supernet.  The shim
+        # shares this searcher's batch-cache registry, so the validation
+        # split is collated exactly once per search — and not at all when
+        # an outer run already cached it.
         shim = getattr(self, "_eval_shim", None)
         if shim is None:
             shim = S2PGNNSearcher.__new__(S2PGNNSearcher)
@@ -104,6 +114,7 @@ class EvolutionarySearcher:
             shim.space = self.space
             shim.dataset = self.dataset
             shim.config = SearchConfig(seed=self.config.seed)
+            shim.batch_cache = self.batch_cache
             self._eval_shim = shim
         return S2PGNNSearcher.evaluate_spec(shim, spec, valid_graphs)
 

@@ -97,6 +97,7 @@ class S2PGNNSearcher:
         dataset: MolecularDataset,
         space: FineTuneSpace = DEFAULT_SPACE,
         config: SearchConfig | None = None,
+        batch_cache=None,
     ):
         self.config = config or SearchConfig()
         self.space = space
@@ -105,6 +106,14 @@ class S2PGNNSearcher:
             encoder, space, num_tasks=dataset.num_tasks, seed=self.config.seed
         )
         self.controller = StrategyController(space, encoder.num_layers)
+        # Shared evaluation-batch cache (see repro.serve.cache).  Passing a
+        # run-wide registry lets the derivation phase, evolutionary fitness
+        # and the fine-tune/serving phases collate each split exactly once.
+        if batch_cache is None:
+            from ..serve.cache import BatchCacheRegistry
+
+            batch_cache = BatchCacheRegistry(capacity=self._EVAL_LOADER_CACHE_SIZE)
+        self.batch_cache = batch_cache
 
     def search(self) -> SearchResult:
         cfg = self.config
@@ -252,35 +261,28 @@ class S2PGNNSearcher:
             if not name.startswith("encoder."):
                 param.data = fresh_values[name].copy()
 
-    # Distinct graph lists whose collated batches are kept alive at once;
-    # evicted FIFO so scoring many transient lists cannot grow memory
+    # Default capacity of an internally created batch-cache registry:
+    # distinct graph sets whose collated batches are kept alive at once,
+    # evicted LRU so scoring many transient lists cannot grow memory
     # unboundedly.
     _EVAL_LOADER_CACHE_SIZE = 4
 
     def _eval_loader(self, graphs) -> DataLoader:
-        """Cached evaluation loader for a graph list.
+        """Shared cached evaluation loader for a graph list.
 
-        Keyed by list identity; the cache holds a reference to the list so
-        the key stays valid while the entry lives.  Repeated
+        Delegates to the run-wide :class:`~repro.serve.cache.BatchCacheRegistry`
+        (content-keyed, so fresh list objects over the same graphs — what
+        ``dataset.split()`` returns on every call — still hit).  Repeated
         ``evaluate_spec`` calls on the same split (candidate derivation,
-        evolutionary fitness) collate its batches exactly once.  With
-        ``cache_batches=False`` a fresh loader is returned every call —
-        the escape hatch for callers that mutate graphs between scores.
+        evolutionary fitness, serving) collate its batches exactly once.
+        With ``cache_batches=False`` a fresh loader is returned every call
+        — the escape hatch for callers that mutate graphs between scores.
         """
         config = self.config
         batch_size = config.eval_batch_size
         if not config.cache_batches:
             return DataLoader(graphs, batch_size=batch_size)
-        loaders = getattr(self, "_eval_loaders", None)
-        if loaders is None:
-            loaders = self._eval_loaders = {}
-        key = id(graphs)
-        if key not in loaders:
-            while len(loaders) >= self._EVAL_LOADER_CACHE_SIZE:
-                loaders.pop(next(iter(loaders)))
-            loaders[key] = (graphs, DataLoader(graphs, batch_size=batch_size,
-                                               cache=True))
-        return loaders[key][1]
+        return self.batch_cache.loader(graphs, batch_size)
 
     def evaluate_spec(self, spec: FineTuneStrategySpec, graphs,
                       loader: DataLoader | None = None) -> float:
@@ -293,13 +295,14 @@ class S2PGNNSearcher:
         one_hots = _spec_to_onehots(spec, self.space, self.supernet.encoder.num_layers)
         loader = loader if loader is not None else self._eval_loader(graphs)
         preds, trues = [], []
+        was_training = self.supernet.training
         self.supernet.eval()
         with no_grad():
             for batch in loader:
                 outputs = self.supernet.forward_full(batch, one_hots)
                 preds.append(outputs["logits"].data.copy())
                 trues.append(batch.y.copy())
-        self.supernet.train()
+        self.supernet.train(was_training)
         return multitask_score_or_fallback(
             np.concatenate(trues), np.concatenate(preds), self.dataset.info.metric
         )

@@ -83,7 +83,8 @@ def supervised_loss(logits: Tensor, batch: Batch, task_type: str) -> Tensor:
 
 
 def evaluate_model(model: Module, graphs: list[Graph], info: DatasetInfo,
-                   batch_size: int = 64, allow_fallback: bool = False) -> float:
+                   batch_size: int = 64, allow_fallback: bool = False,
+                   batch_cache=None) -> float:
     """Score a model on a graph list with the dataset's metric.
 
     With ``allow_fallback=True`` (used for per-epoch validation on tiny
@@ -91,16 +92,26 @@ def evaluate_model(model: Module, graphs: list[Graph], info: DatasetInfo,
     ROC-AUC is undefined — falls back to a monotone surrogate (mean label
     likelihood in [0, 1]) so early stopping still has a consistent,
     higher-is-better signal.
+
+    ``batch_cache`` (a :class:`~repro.serve.cache.BatchCacheRegistry`)
+    serves the graphs from shared pre-collated batches — per-epoch
+    validation then collates the split once per run instead of once per
+    epoch, and reuses batches the search phase already built.  The
+    model's previous train/eval mode is restored on exit.
     """
+    was_training = model.training
     model.eval()
     preds, trues = [], []
-    loader = DataLoader(graphs, batch_size=batch_size, shuffle=False)
+    if batch_cache is not None:
+        loader = batch_cache.loader(graphs, batch_size)
+    else:
+        loader = DataLoader(graphs, batch_size=batch_size, shuffle=False)
     with no_grad():
         for batch in loader:
             logits = model(batch)
             preds.append(logits.data.copy())
             trues.append(batch.y.copy())
-    model.train()
+    model.train(was_training)
     y_pred = np.concatenate(preds, axis=0)
     y_true = np.concatenate(trues, axis=0)
     try:
@@ -123,12 +134,20 @@ def finetune(
     patience: int = 10,
     seed: int = 0,
     grad_clip: float = 5.0,
+    batch_cache=None,
 ) -> FineTuneResult:
     """Fine-tune ``model`` on a dataset's scaffold split under a strategy.
 
     Early stopping tracks the validation metric; the reported test score is
     taken at the best-validation epoch (weights are snapshotted), matching
     the paper's protocol.
+
+    ``batch_cache`` routes the per-epoch validation and final test
+    evaluations through a shared
+    :class:`~repro.serve.cache.BatchCacheRegistry`, so those splits are
+    collated (and their segment plans built) once per run — shared with
+    the search phase that populated the registry.  Training batches keep
+    their fresh per-epoch shuffle.
     """
     strategy = strategy or FineTuneStrategy()
     model = strategy.prepare(model)
@@ -169,7 +188,8 @@ def finetune(
         epoch_seconds.append(time.perf_counter() - start)
         train_losses.append(total / max(batches, 1))
 
-        valid_score = evaluate_model(model, valid_graphs, info, allow_fallback=True)
+        valid_score = evaluate_model(model, valid_graphs, info, allow_fallback=True,
+                                     batch_cache=batch_cache)
         valid_history.append(valid_score)
         improved = valid_score > best_valid if better else valid_score < best_valid
         if improved:
@@ -185,7 +205,8 @@ def finetune(
     model.load_state_dict(best_state)
     # The fallback only triggers on degenerate tiny test splits (undefined
     # ROC-AUC); bench-scale splits always use the primary metric.
-    test_score = evaluate_model(model, test_graphs, info, allow_fallback=True)
+    test_score = evaluate_model(model, test_graphs, info, allow_fallback=True,
+                                batch_cache=batch_cache)
     return FineTuneResult(
         test_score=test_score,
         valid_score=best_valid,

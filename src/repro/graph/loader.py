@@ -107,6 +107,17 @@ class DataLoader:
             self._cached_batches = batches
         return self._cached_batches
 
+    def materialize(self) -> list[Batch]:
+        """Pre-collate and return the cached batch partition (dataset order).
+
+        Only meaningful in cached mode — the serving layer uses it to
+        pre-pay collation (and, by touching each batch's plans, segment
+        planning) before the first request arrives.
+        """
+        if not self.cache:
+            raise RuntimeError("materialize() requires DataLoader(cache=True)")
+        return self._materialize_cache()
+
     def invalidate_cache(self) -> None:
         """Drop pre-collated batches (call after mutating ``self.graphs``)."""
         self._cached_batches = None

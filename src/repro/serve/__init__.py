@@ -1,0 +1,20 @@
+"""``repro.serve`` — batch-serving layer on top of the fast-path stack.
+
+Three pieces: :class:`BatchCacheRegistry` (one collated + plan-cached
+loader per graph set and batch size, shared by every phase of a run),
+:class:`ModelRegistry` (persistent derived models keyed by spec, LRU),
+and :class:`InferenceService` (prediction requests + many-spec scoring
+fan-outs over the shared caches).
+"""
+
+from .cache import BatchCacheRegistry
+from .registry import ModelRegistry, spec_key
+from .service import InferenceService, SpecScore
+
+__all__ = [
+    "BatchCacheRegistry",
+    "ModelRegistry",
+    "spec_key",
+    "InferenceService",
+    "SpecScore",
+]

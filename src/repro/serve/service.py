@@ -1,0 +1,288 @@
+"""Batch-serving entry point: persistent models + shared batch caches.
+
+This is the subsystem the fast-path layer (PR 1) and the segment-plan
+cache (PR 2) were built for: a long-lived process that answers
+
+* **prediction requests** — logits for a list of graphs under a given
+  fine-tune strategy spec, served from a persistent
+  :class:`~repro.core.supernet.DerivedModel` (no per-request model
+  construction) over pre-collated, plan-cached batches (no per-request
+  collation); and
+* **many-spec scoring** — ``score_specs`` fans a list of candidate specs
+  out over one cached batch set, running each through the searched
+  supernet's one-hot fast path (``evaluate_spec``-style: one
+  derived-model-shaped forward per batch, not one per candidate
+  operator).  This is the primitive behind candidate ranking, ensembles
+  over searched strategies, and A/B scoring of specs on live traffic.
+
+Both paths restore the model's previous train/eval mode and produce
+logits bit-identical to a cold forward (fresh model + fresh uncached
+loader) — see ``tests/serve/test_service.py``.
+
+On top of the batch cache sits a **logit cache**: an eval-mode forward is
+a pure function of (model, spec, graph set, batch size) — models served
+here are frozen and batches are immutable after collation — so repeated
+identical requests (the dominant serving pattern: polling dashboards,
+re-ranking sweeps over overlapping candidate sets) are answered from a
+bounded LRU of previous responses without touching the model.  Callers
+that *do* mutate a served model's weights (continued fine-tuning) must
+call :meth:`InferenceService.invalidate_logits` afterwards, mirroring the
+segment-plan layer's immutable-after-collation contract.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics import multitask_score_or_fallback
+from .cache import BatchCacheRegistry
+from .registry import ModelRegistry
+
+__all__ = ["InferenceService", "SpecScore"]
+
+
+def _eval_logits(model, loader, forward, num_tasks: int) -> np.ndarray:
+    """Eval-mode sweep: ``forward(batch)`` logits over ``loader``, with the
+    model's previous train/eval mode restored.  Zero batches (an empty
+    graph list) yield a correctly shaped ``(0, num_tasks)`` array."""
+    from ..nn import no_grad
+
+    was_training = model.training
+    model.eval()
+    preds = []
+    with no_grad():
+        for batch in loader:
+            preds.append(forward(batch).data.copy())
+    model.train(was_training)
+    if not preds:
+        return np.zeros((0, num_tasks))
+    return np.concatenate(preds, axis=0)
+
+
+@dataclass
+class SpecScore:
+    """One entry of a :meth:`InferenceService.score_specs` fan-out."""
+
+    spec: object
+    score: float
+    logits: np.ndarray | None = None
+
+
+class InferenceService:
+    """Serve predictions and spec scores from persistent state.
+
+    Parameters
+    ----------
+    encoder_factory:
+        Zero-argument callable returning a fresh (pre-trained) encoder;
+        used whenever the service must build a derived model.
+    num_tasks:
+        Downstream prediction width.
+    supernet:
+        Optional searched :class:`~repro.core.supernet.S2PGNNSupernet`.
+        When attached, newly built models warm-start from its shared
+        weights and :meth:`score_specs` scores candidates through its
+        one-hot fast path without building a model per spec.
+    models / batch_cache:
+        Existing registries to share (e.g. the
+        :class:`~repro.serve.cache.BatchCacheRegistry` a
+        :class:`~repro.core.api.S2PGNNFineTuner` already populated during
+        search + fine-tuning); fresh ones are created when omitted.
+    batch_size:
+        Default serving batch size (overridable per call).
+    logit_cache_size:
+        Capacity of the response-memoization LRU (0 disables it).  Served
+        models are frozen, so identical requests return cached logits;
+        call :meth:`invalidate_logits` after mutating a served model.
+    """
+
+    def __init__(self, encoder_factory, num_tasks: int, supernet=None,
+                 models: ModelRegistry | None = None,
+                 batch_cache: BatchCacheRegistry | None = None,
+                 batch_size: int = 64, seed: int = 0,
+                 logit_cache_size: int = 256):
+        self.supernet = supernet
+        # Explicit None checks: registries define __len__, so an *empty*
+        # registry passed in for sharing is falsy but must still be used.
+        if models is None:
+            models = ModelRegistry(encoder_factory, num_tasks, seed=seed)
+        self.models = models
+        self.batch_cache = batch_cache if batch_cache is not None else BatchCacheRegistry()
+        self.batch_size = batch_size
+        self.logit_cache_size = logit_cache_size
+        # key: (model, spec, batch_size, member-id tuple) -> (graphs, logits).
+        # The key pins the model and the value pins the graphs, so neither
+        # can be garbage-collected into an id()-aliasing stale hit.
+        self._logit_cache: "OrderedDict" = OrderedDict()
+        self.logit_hits = 0
+        self.logit_misses = 0
+
+    @classmethod
+    def from_tuner(cls, tuner, batch_size: int = 64) -> "InferenceService":
+        """Wrap a fitted :class:`~repro.core.api.S2PGNNFineTuner`.
+
+        Shares the tuner's batch cache (splits collated during search and
+        fine-tuning are served without re-collation), attaches the
+        searched supernet when present, and registers the fine-tuned model
+        under its spec so :meth:`predict` on ``tuner.best_spec_`` serves
+        the *fitted* weights.
+        """
+        if tuner.model_ is None or tuner.best_spec_ is None:
+            raise RuntimeError("tuner is not fitted: call fit() first")
+        supernet = (tuner.search_result_.supernet
+                    if tuner.search_result_ is not None else None)
+        service = cls(tuner.encoder_factory, tuner.model_.num_tasks,
+                      supernet=supernet, batch_cache=tuner.batch_cache,
+                      batch_size=batch_size, seed=tuner.seed)
+        service.models.add(tuner.best_spec_, tuner.model_)
+        return service
+
+    # ------------------------------------------------------------------
+    def attach_supernet(self, supernet) -> "InferenceService":
+        """Attach (or replace) the searched supernet used for warm starts
+        and one-hot spec scoring."""
+        self.supernet = supernet
+        return self
+
+    def model_for(self, spec):
+        """The persistent derived model serving ``spec`` (built on miss,
+        warm-started from the attached supernet when available)."""
+        return self.models.get(spec, supernet=self.supernet)
+
+    def warm(self, graphs, batch_size: int | None = None) -> None:
+        """Pre-collate ``graphs`` and build their segment plans."""
+        self.batch_cache.warm(graphs, batch_size or self.batch_size)
+
+    # ------------------------------------------------------------------
+    def _memoized(self, model, spec, graphs, batch_size, compute) -> np.ndarray:
+        """Serve ``compute()``'s logits through the response LRU.
+
+        Hits return a copy (callers may mutate their response); the
+        stored array is private to the cache.
+        """
+        if self.logit_cache_size <= 0:
+            return compute()
+        key = (model, spec, batch_size, tuple(id(g) for g in graphs))
+        entry = self._logit_cache.get(key)
+        if entry is not None:
+            self._logit_cache.move_to_end(key)
+            self.logit_hits += 1
+            return entry[1].copy()
+        self.logit_misses += 1
+        logits = compute()
+        self._prune_dead_models()
+        while len(self._logit_cache) >= self.logit_cache_size:
+            self._logit_cache.popitem(last=False)
+        self._logit_cache[key] = (list(graphs), logits.copy())
+        return logits
+
+    def _prune_dead_models(self) -> None:
+        """Drop responses of models no longer served.
+
+        Memoization keys pin their model; without this, a model evicted
+        from the :class:`ModelRegistry` (or a detached supernet) would
+        stay alive until its entries churned out of the response LRU.
+        """
+        live = {id(m) for m in self.models.live_models()}
+        live.add(id(self.supernet))
+        for key in [k for k in self._logit_cache if id(k[0]) not in live]:
+            del self._logit_cache[key]
+
+    def invalidate_logits(self) -> None:
+        """Drop memoized responses — required after mutating the weights
+        of any model this service serves."""
+        self._logit_cache.clear()
+
+    def predict(self, graphs, spec, batch_size: int | None = None) -> np.ndarray:
+        """Logits for ``graphs`` under ``spec`` from the persistent model.
+
+        Repeated identical requests are served from the response cache;
+        otherwise the model's train/eval mode is restored afterwards, so
+        serving never perturbs a model that is also being trained.
+        """
+        batch_size = batch_size or self.batch_size
+        model = self.model_for(spec)
+
+        def compute():
+            return _eval_logits(model, self.batch_cache.loader(graphs, batch_size),
+                                model, self.models.num_tasks)
+
+        return self._memoized(model, spec, graphs, batch_size, compute)
+
+    def predict_spec_onehot(self, graphs, spec,
+                            batch_size: int | None = None) -> np.ndarray:
+        """Logits for ``graphs`` via the supernet's one-hot fast path.
+
+        Requires an attached supernet.  With one-hot mixing weights every
+        supernet dimension takes the branch-skipping path, so this costs
+        one derived-model-shaped forward per batch and is bit-identical to
+        a :class:`DerivedModel` warm-started from the same supernet.
+        """
+        from ..core.search import _spec_to_onehots
+
+        if self.supernet is None:
+            raise RuntimeError("one-hot scoring needs an attached supernet")
+        batch_size = batch_size or self.batch_size
+        supernet = self.supernet
+
+        def compute():
+            one_hots = _spec_to_onehots(spec, supernet.space,
+                                        supernet.encoder.num_layers)
+            return _eval_logits(
+                supernet, self.batch_cache.loader(graphs, batch_size),
+                lambda batch: supernet.forward_full(batch, one_hots)["logits"],
+                supernet.num_tasks)
+
+        return self._memoized(supernet, spec, graphs, batch_size, compute)
+
+    def score_specs(self, specs, graphs, metric: str = "roc_auc",
+                    batch_size: int | None = None,
+                    keep_logits: bool = False) -> list[SpecScore]:
+        """Score many candidate specs against one cached batch set.
+
+        Each spec runs through the one-hot supernet fast path (attached
+        supernet) or its persistent derived model (no supernet); the
+        graphs are collated and plan-built exactly once for the whole
+        fan-out *and* for every later call on the same graph set.  Labels
+        come from the graphs themselves; ``metric`` follows
+        :mod:`repro.metrics` (falls back on degenerate label sets).
+        """
+        if not graphs:
+            # Unlike predictions (an empty logits array is well-defined),
+            # a metric over zero graphs is not.
+            raise ValueError("cannot score specs over an empty graph list")
+        batch_size = batch_size or self.batch_size
+        loader = self.batch_cache.loader(graphs, batch_size)
+        trues = np.concatenate([batch.y for batch in loader], axis=0)
+        results = []
+        for spec in specs:
+            if self.supernet is not None:
+                logits = self.predict_spec_onehot(graphs, spec, batch_size)
+            else:
+                logits = self.predict(graphs, spec, batch_size)
+            score = multitask_score_or_fallback(trues, logits, metric)
+            results.append(SpecScore(spec=spec, score=score,
+                                     logits=logits if keep_logits else None))
+        return results
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Combined registry + batch-cache + response-cache counters."""
+        return {
+            "models": self.models.stats(),
+            "batches": self.batch_cache.stats(),
+            "logits": {
+                "entries": len(self._logit_cache),
+                "capacity": self.logit_cache_size,
+                "hits": self.logit_hits,
+                "misses": self.logit_misses,
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"InferenceService(models={len(self.models)}, "
+                f"cached_splits={len(self.batch_cache)}, "
+                f"supernet={'yes' if self.supernet is not None else 'no'})")

@@ -77,3 +77,49 @@ class TestFit:
         a = make_tuner().fit(tiny_dataset).test_score
         b = make_tuner().fit(tiny_dataset).test_score
         assert a == pytest.approx(b)
+
+
+class TestPredictServing:
+    def test_predict_restores_eval_mode(self, tiny_dataset):
+        """Regression: predict() used to call model_.train() on exit even
+        when the model was in eval mode, silently re-enabling dropout for
+        any subsequent caller."""
+        tuner = make_tuner()
+        tuner.fit(tiny_dataset)
+        tuner.model_.eval()
+        tuner.predict(tiny_dataset.graphs[:5])
+        assert not tuner.model_.training
+        tuner.model_.train()
+        tuner.predict(tiny_dataset.graphs[:5])
+        assert tuner.model_.training
+
+    def test_predict_routes_through_shared_batch_cache(self, tiny_dataset):
+        """Regression: predict() hard-coded its own fresh DataLoader; it
+        must draw batches from the run-wide registry so repeated requests
+        (and splits already collated by fit) never re-collate."""
+        tuner = make_tuner()
+        tuner.fit(tiny_dataset)
+        graphs = tiny_dataset.graphs[:10]
+        tuner.predict(graphs)
+        loader = tuner.batch_cache.loader(graphs, 64)
+        collations = loader.num_collations
+        preds = tuner.predict(graphs)
+        assert loader.num_collations == collations  # no re-collation
+        assert np.array_equal(preds, tuner.predict(graphs))
+
+    def test_predict_unchanged_by_caching(self, tiny_dataset):
+        """Cached-batch predictions must equal a fresh uncached forward."""
+        from repro.graph import DataLoader
+        from repro.nn import no_grad
+
+        tuner = make_tuner()
+        tuner.fit(tiny_dataset)
+        graphs = tiny_dataset.graphs[:10]
+        served = tuner.predict(graphs)
+        tuner.model_.eval()
+        with no_grad():
+            ref = np.concatenate(
+                [tuner.model_(b).data.copy()
+                 for b in DataLoader(graphs, batch_size=64)], axis=0)
+        tuner.model_.train()
+        assert np.array_equal(served, ref)

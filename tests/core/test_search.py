@@ -143,11 +143,24 @@ class TestEvalLoaderReuse:
             make_encoder(), tiny_dataset,
             config=SearchConfig(epochs=1, seed=0),
         )
-        _, valid, _ = tiny_dataset.split()
-        lists = [list(valid) for _ in range(10)]
+        train, _, _ = tiny_dataset.split()
+        # Genuinely distinct graph sets (different members) stay bounded.
+        lists = [train[i:i + 5] for i in range(10)]
         for graphs in lists:
             searcher._eval_loader(graphs)
-        assert len(searcher._eval_loaders) <= searcher._EVAL_LOADER_CACHE_SIZE
+        assert len(searcher.batch_cache) <= searcher._EVAL_LOADER_CACHE_SIZE
+
+    def test_eval_loader_shared_across_equal_content_lists(self, tiny_dataset):
+        """dataset.split() builds a fresh list per call; the registry keys
+        by member identity, so every phase still hits one shared loader."""
+        searcher = S2PGNNSearcher(
+            make_encoder(), tiny_dataset,
+            config=SearchConfig(epochs=1, seed=0),
+        )
+        _, valid_a, _ = tiny_dataset.split()
+        _, valid_b, _ = tiny_dataset.split()
+        assert valid_a is not valid_b
+        assert searcher._eval_loader(valid_a) is searcher._eval_loader(valid_b)
 
 
 class TestReinitializeTheta:

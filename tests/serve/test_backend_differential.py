@@ -1,0 +1,133 @@
+"""End-to-end differential test of the segment-op backends.
+
+PR 2 promised that the legacy ``np.add.at`` ops stay available as a
+*reference backend* for the plan-backed kernels.  The unit parity tests
+(`tests/nn/test_segment.py`, `tests/gnn/test_segment_parity.py`) cover
+individual ops and modules; this suite pins the promise down end to end:
+a complete search + fine-tune + serve run under ``use_backend("legacy")``
+must be **bit-identical** to the same run under the default plan backend —
+identical search histories, derived specs, training losses, validation
+trajectories, scores and served logits.
+
+Bit-identity (not just tolerance) holds because every fast kernel
+accumulates in the same order as its legacy counterpart: the plans' stable
+sort preserves each segment's appearance order, the CSR matvec reduces
+rows sequentially, and max is order-exact.  Any future kernel change that
+reorders floating-point accumulation will trip this suite.
+
+Marked ``slow``: this is the tier-2 differential suite (run tier-1 with
+``pytest -m "not slow"``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import S2PGNNFineTuner, SearchConfig
+from repro.core.api import FineTuneConfig
+from repro.core.evolution import EvolutionConfig, EvolutionarySearcher
+from repro.gnn import GNNEncoder
+from repro.nn import use_backend
+
+pytestmark = pytest.mark.slow
+
+
+def factory():
+    return GNNEncoder("gin", num_layers=2, emb_dim=12, dropout=0.0, seed=0)
+
+
+def run_pipeline(dataset, backend: str) -> dict:
+    """One full search + finetune + predict run under ``backend``."""
+    with use_backend(backend):
+        tuner = S2PGNNFineTuner(
+            factory,
+            search_config=SearchConfig(epochs=2, batch_size=16, seed=0),
+            finetune_config=FineTuneConfig(epochs=2, patience=2),
+            seed=0,
+        )
+        result = tuner.fit(dataset)
+        logits = tuner.predict(dataset.graphs[:16])
+    return {
+        "search_history": tuner.search_result_.history,
+        "spec": tuner.best_spec_,
+        "train_losses": result.train_losses,
+        "valid_history": result.valid_history,
+        "valid_score": result.valid_score,
+        "test_score": result.test_score,
+        "best_epoch": result.best_epoch,
+        "logits": logits,
+    }
+
+
+@pytest.fixture(scope="module")
+def runs(tiny_dataset):
+    return (run_pipeline(tiny_dataset, "reduceat"),
+            run_pipeline(tiny_dataset, "legacy"))
+
+
+class TestEndToEndBackendParity:
+    def test_derived_specs_identical(self, runs):
+        fast, legacy = runs
+        assert fast["spec"] == legacy["spec"]
+
+    def test_search_histories_bit_identical(self, runs):
+        fast, legacy = runs
+        assert len(fast["search_history"]) == len(legacy["search_history"])
+        for a, b in zip(fast["search_history"], legacy["search_history"]):
+            assert a == b  # epoch, tau, threshold, losses, derived — exact
+
+    def test_finetune_trajectories_bit_identical(self, runs):
+        fast, legacy = runs
+        assert fast["train_losses"] == legacy["train_losses"]
+        assert fast["valid_history"] == legacy["valid_history"]
+        assert fast["best_epoch"] == legacy["best_epoch"]
+        assert fast["valid_score"] == legacy["valid_score"]
+        assert fast["test_score"] == legacy["test_score"]
+
+    def test_served_logits_bit_identical(self, runs):
+        fast, legacy = runs
+        assert np.array_equal(fast["logits"], legacy["logits"])
+
+
+class TestEvolutionBackendParity:
+    def test_evolution_bit_identical(self, tiny_dataset):
+        def run(backend):
+            with use_backend(backend):
+                searcher = EvolutionarySearcher(
+                    factory(), tiny_dataset,
+                    config=EvolutionConfig(warmup_epochs=1, population_size=4,
+                                           generations=2, seed=0),
+                )
+                return searcher.search()
+
+        fast, legacy = run("reduceat"), run("legacy")
+        assert fast.spec == legacy.spec
+        assert fast.score == legacy.score
+        assert fast.history == legacy.history
+
+
+class TestServiceBackendParity:
+    def test_spec_scoring_bit_identical(self, tiny_dataset):
+        from repro.core import DEFAULT_SPACE
+        from repro.core.supernet import S2PGNNSupernet
+        from repro.serve import InferenceService
+
+        rng = np.random.default_rng(3)
+        specs = [DEFAULT_SPACE.random_spec(2, rng) for _ in range(3)]
+        graphs = tiny_dataset.graphs[:16]
+
+        def run(backend):
+            with use_backend(backend):
+                supernet = S2PGNNSupernet(factory(), DEFAULT_SPACE,
+                                          num_tasks=tiny_dataset.num_tasks,
+                                          seed=0)
+                service = InferenceService(factory, tiny_dataset.num_tasks,
+                                           supernet=supernet, batch_size=8)
+                return service.score_specs(specs, graphs,
+                                           metric=tiny_dataset.info.metric,
+                                           keep_logits=True)
+
+        fast, legacy = run("reduceat"), run("legacy")
+        for a, b in zip(fast, legacy):
+            assert a.spec == b.spec
+            assert a.score == b.score
+            assert np.array_equal(a.logits, b.logits)

@@ -28,6 +28,14 @@ class TestParser:
         args = build_parser().parse_args(["table9", "--datasets", "bbbp", "bace"])
         assert args.datasets == ["bbbp", "bace"]
 
+    def test_serving_targets_accepted(self):
+        args = build_parser().parse_args(["score"])
+        assert args.target == "score" and args.specs == 6
+        args = build_parser().parse_args(
+            ["serve", "--specs", "3", "--size", "80", "--search-epochs", "1"])
+        assert args.target == "serve"
+        assert (args.specs, args.size, args.search_epochs) == (3, 80, 1)
+
 
 class TestExecution:
     def test_space_target(self, capsys):
@@ -48,3 +56,19 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "seconds per epoch" in out
+
+    def test_score_target(self, capsys):
+        code = main(["score", "--size", "60", "--specs", "2",
+                     "--search-epochs", "1", "--emb-dim", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scored 3 specs" in out
+        assert "derived" in out
+        assert "cache stats" in out
+
+    def test_serve_target_reports_request_throughput(self, capsys):
+        code = main(["serve", "--size", "60", "--specs", "1",
+                     "--search-epochs", "1", "--emb-dim", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests/s" in out
