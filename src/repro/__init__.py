@@ -19,7 +19,12 @@ from .core import (
     S2PGNNSearcher,
     SearchConfig,
 )
-from .serve import BatchCacheRegistry, InferenceService, ModelRegistry
+from .serve import (
+    BatchCacheRegistry,
+    BatchingRouter,
+    InferenceService,
+    ModelRegistry,
+)
 
 __version__ = "1.0.0"
 
@@ -35,6 +40,7 @@ __all__ = [
     "InferenceService",
     "ModelRegistry",
     "BatchCacheRegistry",
+    "BatchingRouter",
     "S2PGNNFineTuner",
     "S2PGNNSearcher",
     "SearchConfig",

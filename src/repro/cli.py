@@ -8,14 +8,18 @@ Usage::
     python -m repro.cli space           # Remark 3 space-size check
     python -m repro.cli score --specs 8 # search, then fan-out spec scoring
     python -m repro.cli serve           # + repeated-request throughput demo
+    python -m repro.cli route           # dynamic-batching router demo
 
 ``score`` runs a short strategy search and then scores candidate specs
 through :class:`repro.serve.InferenceService` — every spec is evaluated
 against one shared, pre-collated batch cache via the supernet's one-hot
 fast path.  ``serve`` additionally drives repeated prediction requests
-against the persistent derived model and reports requests/sec.  Table
-results are printed in the paper's row layout (see
-:mod:`repro.experiments.tables`).
+against the persistent derived model and reports requests/sec.  ``route``
+feeds a stream of *single-graph* requests through the
+:class:`repro.serve.BatchingRouter` (server-side micro-batches, flush on
+size or simulated-clock deadline) and compares its throughput against the
+per-request batch-of-one path.  Table results are printed in the paper's
+row layout (see :mod:`repro.experiments.tables`).
 """
 
 from __future__ import annotations
@@ -80,10 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_TABLES) + ["space", "score", "serve"],
+        choices=sorted(_TABLES) + ["space", "score", "serve", "route"],
         help="paper table to regenerate, 'space' (Remark 3 numbers), "
-             "'score' (many-spec serving fan-out) or 'serve' "
-             "(score + repeated-request throughput)",
+             "'score' (many-spec serving fan-out), 'serve' "
+             "(score + repeated-request throughput) or 'route' "
+             "(dynamic-batching single-request router demo)",
     )
     parser.add_argument(
         "--tier", choices=["smoke", "bench"], default="bench",
@@ -119,19 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--emb-dim", type=int, default=32,
         help="encoder embedding width for score/serve")
     serving.add_argument("--seed", type=int, default=0)
+    routing = parser.add_argument_group("route options")
+    routing.add_argument(
+        "--requests", type=int, default=64,
+        help="number of single-graph requests to route")
+    routing.add_argument(
+        "--max-batch-size", type=int, default=16,
+        help="router micro-batch size (flush-on-size threshold)")
+    routing.add_argument(
+        "--max-delay", type=int, default=4,
+        help="router deadline in simulated-clock ticks")
     return parser
 
 
-def _run_serving(args, demo_requests: bool) -> int:
-    """``score`` / ``serve``: search briefly, then serve spec scores.
-
-    One :class:`~repro.serve.BatchCacheRegistry` backs the whole run —
-    the searcher populates it, and the service then scores every
-    candidate spec (and answers prediction requests) without ever
-    re-collating a split.
-    """
-    import numpy as np
-
+def _serving_context(args):
+    """Shared setup for ``score``/``serve``/``route``: dataset + short
+    search + an :class:`~repro.serve.InferenceService` over one
+    run-wide :class:`~repro.serve.BatchCacheRegistry`."""
     from .core.search import S2PGNNSearcher, SearchConfig
     from .gnn import GNNEncoder
     from .graph import load_dataset
@@ -147,7 +156,6 @@ def _run_serving(args, demo_requests: bool) -> int:
                               emb_dim=args.emb_dim, seed=args.seed)
 
     dataset = load_dataset(args.dataset, size=args.size)
-    _, valid_graphs, test_graphs = dataset.split()
     cache = BatchCacheRegistry()
     print(f"dataset: {dataset.info.name} ({len(dataset)} graphs, "
           f"metric={dataset.info.metric})")
@@ -166,6 +174,21 @@ def _run_serving(args, demo_requests: bool) -> int:
         make_encoder, dataset.num_tasks, supernet=result.supernet,
         batch_cache=cache, batch_size=args.batch_size, seed=args.seed,
     )
+    return dataset, searcher, result, service
+
+
+def _run_serving(args, demo_requests: bool) -> int:
+    """``score`` / ``serve``: search briefly, then serve spec scores.
+
+    One :class:`~repro.serve.BatchCacheRegistry` backs the whole run —
+    the searcher populates it, and the service then scores every
+    candidate spec (and answers prediction requests) without ever
+    re-collating a split.
+    """
+    import numpy as np
+
+    dataset, searcher, result, service = _serving_context(args)
+    _, valid_graphs, test_graphs = dataset.split()
     rng = np.random.default_rng((args.seed, 77))
     specs = [result.spec] + [
         searcher.space.random_spec(args.layers, rng) for _ in range(args.specs)
@@ -199,6 +222,58 @@ def _run_serving(args, demo_requests: bool) -> int:
     return 0
 
 
+def _run_router(args) -> int:
+    """``route``: stream single-graph requests through the dynamic-batching
+    router and compare against the per-request batch-of-one path."""
+    import numpy as np
+
+    from .graph import DataLoader
+    from .nn import no_grad
+
+    dataset, searcher, result, service = _serving_context(args)
+    _, _, test_graphs = dataset.split()
+
+    rng = np.random.default_rng((args.seed, 78))
+    specs = [result.spec, searcher.space.random_spec(args.layers, rng)]
+    stream = [(test_graphs[i % len(test_graphs)], specs[i % len(specs)])
+              for i in range(args.requests)]
+
+    # Per-request batch-of-one: what a naive endpoint pays per call —
+    # one collation (plans rebuilt from scratch) + one tiny forward each.
+    models = {spec: service.model_for(spec) for spec in specs}
+    start = time.perf_counter()
+    singles = []
+    with no_grad():
+        for graph, spec in stream:
+            model = models[spec]
+            model.eval()
+            for batch in DataLoader([graph], batch_size=1):
+                singles.append(model(batch).data.copy())
+    single_s = time.perf_counter() - start
+
+    router = service.router(max_batch_size=args.max_batch_size,
+                            max_delay=args.max_delay)
+    start = time.perf_counter()
+    tickets = [router.submit(graph, spec) for graph, spec in stream]
+    router.flush()
+    routed_s = time.perf_counter() - start
+    assert all(t.done for t in tickets)
+
+    diff = max(float(np.abs(t.result() - s[0]).max())
+               for t, s in zip(tickets, singles))
+    stats = router.stats()
+    print(f"\nrouted {args.requests} single-graph requests in {routed_s:.3f}s "
+          f"({args.requests / routed_s:.1f} requests/s) across "
+          f"{stats['batches']} micro-batches "
+          f"(mean size {stats['mean_batch_size']:.1f}, "
+          f"flushes {stats['flushes']})")
+    print(f"batch-of-one path: {single_s:.3f}s "
+          f"({args.requests / single_s:.1f} requests/s)")
+    print(f"dynamic batching speedup: {single_s / routed_s:.1f}x "
+          f"(max |logit diff| vs per-request forwards: {diff:.2e})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -212,6 +287,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target in ("score", "serve"):
         return _run_serving(args, demo_requests=args.target == "serve")
+
+    if args.target == "route":
+        return _run_router(args)
 
     scale = configs.SMOKE_SCALE if args.tier == "smoke" else configs.BENCH_SCALE
     run, render = _TABLES[args.target]

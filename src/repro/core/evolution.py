@@ -47,6 +47,11 @@ class EvolutionConfig:
 
 @dataclass
 class EvolutionResult:
+    """Outcome of a run.  ``spec``/``score`` are the **best ever
+    evaluated** (warm-up population included) — regularized evolution ages
+    individuals out of the population, so the best spec found is not
+    necessarily a survivor of the final generation."""
+
     spec: FineTuneStrategySpec
     score: float
     history: list[dict] = field(default_factory=list)
@@ -151,6 +156,13 @@ class EvolutionarySearcher:
         fitness = [sign * self._fitness(s, valid_graphs) for s in population]
         history: list[dict] = []
 
+        # Best-ever tracking across *all* evaluations.  Regularized
+        # evolution kills the oldest individual each generation, so the
+        # best spec ever evaluated can age out of the population — an
+        # argmax over the survivors at the end would silently lose it.
+        best_ever = int(np.argmax(fitness))
+        best_spec, best_fit = population[best_ever], fitness[best_ever]
+
         for generation in range(cfg.generations):
             # Tournament selection of a parent.
             contenders = rng.choice(len(population), size=cfg.tournament_size,
@@ -158,6 +170,8 @@ class EvolutionarySearcher:
             parent = population[max(contenders, key=lambda i: fitness[i])]
             child = self._mutate(parent, rng)
             child_fit = sign * self._fitness(child, valid_graphs)
+            if child_fit > best_fit:
+                best_spec, best_fit = child, child_fit
             # Regularized evolution: the oldest individual dies.
             population.pop(0)
             fitness.pop(0)
@@ -168,12 +182,13 @@ class EvolutionarySearcher:
                 "generation": generation,
                 "best_fitness": sign * fitness[best],
                 "best": population[best].describe(),
+                "best_ever_fitness": sign * best_fit,
+                "best_ever": best_spec.describe(),
             })
 
-        best = int(np.argmax(fitness))
         return EvolutionResult(
-            spec=population[best],
-            score=sign * fitness[best],
+            spec=best_spec,
+            score=sign * best_fit,
             history=history,
             seconds=time.perf_counter() - start,
         )

@@ -20,7 +20,7 @@ import numpy as np
 from ..graph.datasets import DatasetInfo, MolecularDataset
 from ..graph.graph import Batch, Graph
 from ..graph.loader import DataLoader
-from ..metrics import higher_is_better, multitask_score
+from ..metrics import UndefinedMetricError, higher_is_better, multitask_score
 from ..nn import Adam, Module, Tensor, clip_grad_norm, no_grad
 from ..nn.functional import binary_cross_entropy_with_logits
 
@@ -116,7 +116,9 @@ def evaluate_model(model: Module, graphs: list[Graph], info: DatasetInfo,
     y_true = np.concatenate(trues, axis=0)
     try:
         return multitask_score(y_true, y_pred, info.metric)
-    except ValueError:
+    except UndefinedMetricError:
+        # Only "metric undefined on this data" falls back; caller errors
+        # (unknown metric, shape mismatch) propagate.
         if not allow_fallback:
             raise
         from ..metrics import fallback_score

@@ -10,8 +10,47 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["roc_auc_score", "rmse_score", "multitask_score", "fallback_score",
-           "multitask_score_or_fallback", "higher_is_better"]
+__all__ = ["UndefinedMetricError", "roc_auc_score", "rmse_score",
+           "multitask_score", "fallback_score", "multitask_score_or_fallback",
+           "higher_is_better"]
+
+KNOWN_METRICS = ("roc_auc", "rmse")
+
+
+class UndefinedMetricError(ValueError):
+    """The metric is mathematically undefined on this data (e.g. ROC-AUC
+    over single-class labels, or no task with enough valid labels).
+
+    Subclasses :class:`ValueError` for backward compatibility, but is the
+    *only* error :func:`multitask_score_or_fallback` converts into a
+    fallback score — caller errors (unknown metric name, shape mismatch)
+    stay fatal instead of being silently scored.
+    """
+
+
+def _tie_average_ranks(y_score: np.ndarray) -> np.ndarray:
+    """1-based ranks of ``y_score``, averaging ranks over tied values.
+
+    Vectorized: ``np.unique`` sorts the distinct values and returns each
+    element's group index, so a group occupying sorted positions
+    ``cum+1 .. cum+count`` has average rank ``cum + (count + 1) / 2`` —
+    all quantities are exact small integers (or half-integers) in float64,
+    so this is bit-identical to the sequential tie-scan it replaced (a
+    property test pins that equivalence).  One divergence to paper over:
+    ``np.unique`` collapses NaNs into a single tie group, while the scan's
+    ``==`` comparison (NaN != NaN) left each NaN its own positional rank
+    at the end of the sort — restored below so garbage scores from a
+    diverged model still produce the exact legacy number.
+    """
+    _, inverse, counts = np.unique(y_score, return_inverse=True,
+                                   return_counts=True)
+    cum = np.concatenate(([0], np.cumsum(counts[:-1])))
+    ranks = (cum + (counts + 1) / 2.0)[inverse]
+    nan_mask = np.isnan(y_score)
+    if nan_mask.any():
+        # Stable sort puts NaNs last in submission order: ranks n+1 .. N.
+        ranks[nan_mask] = (~nan_mask).sum() + 1 + np.arange(nan_mask.sum())
+    return ranks
 
 
 def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
@@ -25,20 +64,8 @@ def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
     neg = y_true == 0
     n_pos, n_neg = int(pos.sum()), int(neg.sum())
     if n_pos == 0 or n_neg == 0:
-        raise ValueError("ROC-AUC undefined for single-class labels")
-    order = np.argsort(y_score, kind="mergesort")
-    ranks = np.empty(len(y_score), dtype=np.float64)
-    ranks[order] = np.arange(1, len(y_score) + 1)
-    # Average ranks over tied scores.
-    sorted_scores = y_score[order]
-    i = 0
-    while i < len(sorted_scores):
-        j = i
-        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
-            j += 1
-        if j > i:
-            ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
-        i = j + 1
+        raise UndefinedMetricError("ROC-AUC undefined for single-class labels")
+    ranks = _tie_average_ranks(y_score)
     rank_sum = ranks[pos].sum()
     u = rank_sum - n_pos * (n_pos + 1) / 2.0
     return float(u / (n_pos * n_neg))
@@ -68,6 +95,8 @@ def multitask_score(
     """
     y_true = np.atleast_2d(np.asarray(y_true, dtype=np.float64))
     y_pred = np.atleast_2d(np.asarray(y_pred, dtype=np.float64))
+    if metric not in KNOWN_METRICS:
+        raise ValueError(f"unknown metric {metric!r}")
     if y_true.shape != y_pred.shape:
         raise ValueError(f"shape mismatch {y_true.shape} vs {y_pred.shape}")
     scores = []
@@ -85,7 +114,7 @@ def multitask_score(
         else:
             raise ValueError(f"unknown metric {metric!r}")
     if not scores:
-        raise ValueError("no valid tasks to evaluate")
+        raise UndefinedMetricError("no valid tasks to evaluate")
     return float(np.mean(scores))
 
 
@@ -97,8 +126,14 @@ def fallback_score(y_true: np.ndarray, y_pred: np.ndarray, metric: str) -> float
     that keeps early stopping and weight-sharing spec ranking well-defined.
     RMSE is always defined, so regression never reaches this path.
     """
+    if metric not in KNOWN_METRICS:
+        # The classification-likelihood surrogate below is a nonsense
+        # number for an unrecognized metric; fail like the primary scorer.
+        raise ValueError(f"unknown metric {metric!r}")
     y_true = np.atleast_2d(np.asarray(y_true, dtype=np.float64))
     y_pred = np.atleast_2d(np.asarray(y_pred, dtype=np.float64))
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch {y_true.shape} vs {y_pred.shape}")
     if metric == "rmse":
         return rmse_score(y_true[~np.isnan(y_true)], y_pred[~np.isnan(y_true)])
     present = ~np.isnan(y_true)
@@ -108,10 +143,16 @@ def fallback_score(y_true: np.ndarray, y_pred: np.ndarray, metric: str) -> float
 
 
 def multitask_score_or_fallback(y_true: np.ndarray, y_pred: np.ndarray, metric: str) -> float:
-    """Primary metric if defined, otherwise :func:`fallback_score`."""
+    """Primary metric if defined, otherwise :func:`fallback_score`.
+
+    Only :class:`UndefinedMetricError` — the metric being mathematically
+    undefined on this data — triggers the fallback.  Caller errors
+    (unknown metric name, ``y_true``/``y_pred`` shape mismatch) propagate:
+    silently scoring them would hand spec ranking a bogus number.
+    """
     try:
         return multitask_score(y_true, y_pred, metric)
-    except ValueError:
+    except UndefinedMetricError:
         return fallback_score(y_true, y_pred, metric)
 
 

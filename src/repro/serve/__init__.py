@@ -1,20 +1,25 @@
 """``repro.serve`` — batch-serving layer on top of the fast-path stack.
 
-Three pieces: :class:`BatchCacheRegistry` (one collated + plan-cached
+Four pieces: :class:`BatchCacheRegistry` (one collated + plan-cached
 loader per graph set and batch size, shared by every phase of a run),
 :class:`ModelRegistry` (persistent derived models keyed by spec, LRU),
-and :class:`InferenceService` (prediction requests + many-spec scoring
-fan-outs over the shared caches).
+:class:`InferenceService` (prediction requests + many-spec scoring
+fan-outs over the shared caches), and :class:`BatchingRouter` (dynamic
+batching: single-graph requests bucketed by spec into server-side
+micro-batches, flushed on size or deadline).
 """
 
 from .cache import BatchCacheRegistry
 from .registry import ModelRegistry, spec_key
+from .router import BatchingRouter, RoutedRequest
 from .service import InferenceService, SpecScore
 
 __all__ = [
     "BatchCacheRegistry",
     "ModelRegistry",
     "spec_key",
+    "BatchingRouter",
+    "RoutedRequest",
     "InferenceService",
     "SpecScore",
 ]

@@ -1,0 +1,290 @@
+"""Dynamic-batching request router: single-graph requests -> micro-batches.
+
+The batch-serving layer answers requests for *lists* of graphs; the true
+online-serving workload is the opposite shape — a stream of independent
+single-graph requests, each too small to amortize a forward on its own.
+:class:`BatchingRouter` closes that gap:
+
+* :meth:`~BatchingRouter.submit` accepts one graph + one strategy spec and
+  returns a :class:`RoutedRequest` ticket immediately;
+* pending requests are **bucketed by spec** (mixed-spec queues never share
+  a forward — each spec routes to its own model / one-hot configuration)
+  and accumulated in a bounded queue;
+* a bucket is flushed into a **micro-batch** when it reaches
+  ``max_batch_size`` (flush-on-size), when its oldest request has waited
+  ``max_delay`` clock ticks (flush-on-deadline), or on an explicit
+  :meth:`~BatchingRouter.flush`;
+* each micro-batch costs **one** disjoint-union collation + **one**
+  forward through the owning :class:`~repro.serve.service.InferenceService`
+  (``batch_size=len(micro-batch)``), and the response rows are sliced
+  back out to the tickets in submission order.
+
+Clock semantics
+---------------
+The router keeps a *simulated* clock: :meth:`~BatchingRouter.tick`
+advances it and fires deadline flushes.  Nothing in the router reads
+wall-clock time, so deadline behaviour is exactly reproducible in tests;
+a deployment maps ticks to real time by calling ``tick()`` from a timer
+(e.g. one tick per millisecond of event-loop idle).
+
+Parity guarantee
+----------------
+A routed request's logits are, by construction, the request's row of
+``service.predict(micro_batch_graphs, spec, batch_size=len(micro_batch))``
+— bit-identical to what the caller would get asking the service for the
+assembled micro-batch directly, and for a single-request flush
+bit-identical to ``service.predict([graph], spec)``.  Note that batching
+*changes the BLAS summation shapes*: a request served inside a larger
+micro-batch can differ from its own batch-of-one forward in the last few
+float bits (~1e-15), exactly as ``predict`` on a larger list does.  The
+contract pinned by ``tests/serve/test_router.py`` is therefore stated
+against ``predict`` on the same graphs.
+
+Because micro-batches run through the service, they inherit the whole
+cache stack: repeated identical micro-batches (polling traffic) hit the
+response-memoization LRU, repeated graph sets hit the batch/plan cache,
+and :meth:`InferenceService.invalidate_logits` reaches routed responses
+exactly as it reaches list requests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["BatchingRouter", "RoutedRequest"]
+
+
+class RoutedRequest:
+    """Ticket for one submitted graph; resolves when its bucket flushes.
+
+    Attributes
+    ----------
+    graph, spec:
+        The submitted graph and its strategy spec.
+    seq:
+        Global submission index — the order :meth:`BatchingRouter.drain`
+        preserves.
+    submitted_tick:
+        Router clock value at submission (deadline flushes fire when
+        ``now - submitted_tick >= max_delay``).
+    """
+
+    __slots__ = ("graph", "spec", "seq", "submitted_tick", "_logits")
+
+    def __init__(self, graph, spec, seq: int, submitted_tick: int):
+        self.graph = graph
+        self.spec = spec
+        self.seq = seq
+        self.submitted_tick = submitted_tick
+        self._logits: np.ndarray | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._logits is not None
+
+    def result(self) -> np.ndarray:
+        """This request's logits row, shape ``(num_tasks,)``.
+
+        The row is private to the ticket (sliced and copied at flush), so
+        callers may mutate it freely.  Raises while still queued — call
+        :meth:`BatchingRouter.flush` / :meth:`BatchingRouter.tick` first,
+        or use :meth:`BatchingRouter.predict_one`.
+        """
+        if self._logits is None:
+            raise RuntimeError(
+                "request is still queued (flush() or tick() the router)")
+        return self._logits
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"RoutedRequest(seq={self.seq}, {state})"
+
+
+class BatchingRouter:
+    """Bucket single-graph requests into server-side micro-batches.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serve.service.InferenceService` that executes
+        micro-batches (and supplies every cache behind them).
+    max_batch_size:
+        Flush a spec's bucket as soon as it holds this many requests.
+    max_delay:
+        Flush a bucket once its *oldest* request has waited this many
+        clock ticks — bounds latency for trickle traffic that never fills
+        a micro-batch.
+    max_pending:
+        Bound on the total queue across all buckets.  A submit that would
+        exceed it first flushes the bucket holding the globally oldest
+        request (backpressure by serving, never by dropping).
+    max_undrained:
+        Bound on the completed-but-undrained window behind :meth:`drain`.
+        Callers that hold their tickets never need ``drain``, so the
+        router must not retain every served request (graph + logits row)
+        on their behalf forever; once the window overflows, the oldest
+        completed entries silently age out of ``drain``'s view (the
+        tickets themselves stay valid for whoever holds them).
+    onehot:
+        Route micro-batches through the supernet's one-hot fast path
+        (:meth:`InferenceService.predict_spec_onehot`) instead of
+        persistent derived models — no per-spec model build, useful when
+        the spec mix is wide.  Requires the service to have a supernet
+        attached.
+    """
+
+    def __init__(self, service, max_batch_size: int = 32, max_delay: int = 4,
+                 max_pending: int = 1024, max_undrained: int = 4096,
+                 onehot: bool = False):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_delay < 1:
+            raise ValueError("max_delay must be >= 1 tick")
+        if max_pending < max_batch_size:
+            raise ValueError("max_pending must be >= max_batch_size")
+        if max_undrained < 1:
+            raise ValueError("max_undrained must be >= 1")
+        self.service = service
+        self.max_batch_size = max_batch_size
+        self.max_delay = max_delay
+        self.max_pending = max_pending
+        self.max_undrained = max_undrained
+        self.onehot = onehot
+        self._buckets: "OrderedDict[object, list[RoutedRequest]]" = OrderedDict()
+        self._completed: list[RoutedRequest] = []
+        self._tick = 0
+        self._seq = 0
+        self.served = 0
+        self.batches = 0
+        self.flushes = {"size": 0, "deadline": 0, "forced": 0, "backpressure": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated-clock value."""
+        return self._tick
+
+    @property
+    def pending(self) -> int:
+        """Requests queued across all spec buckets."""
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def submit(self, graph, spec) -> RoutedRequest:
+        """Enqueue one graph under ``spec``; returns its ticket.
+
+        Flush-on-size fires inline: when this submit fills the spec's
+        bucket, the micro-batch runs immediately and the returned ticket
+        is already ``done``.
+        """
+        request = RoutedRequest(graph, spec, self._seq, self._tick)
+        self._seq += 1
+        self._buckets.setdefault(spec, []).append(request)
+        if len(self._buckets[spec]) >= self.max_batch_size:
+            self._flush_bucket(spec, "size")
+        elif self.pending > self.max_pending:
+            oldest = min(self._buckets, key=lambda s: self._buckets[s][0].seq)
+            self._flush_bucket(oldest, "backpressure")
+        return request
+
+    def tick(self, ticks: int = 1) -> list[RoutedRequest]:
+        """Advance the simulated clock, firing deadline flushes.
+
+        Returns the requests completed by those flushes, in submission
+        order."""
+        completed: list[RoutedRequest] = []
+        for _ in range(ticks):
+            self._tick += 1
+            expired = [spec for spec, bucket in self._buckets.items()
+                       if self._tick - bucket[0].submitted_tick >= self.max_delay]
+            for spec in expired:
+                completed.extend(self._flush_bucket(spec, "deadline"))
+        return sorted(completed, key=lambda r: r.seq)
+
+    def flush(self, spec=None) -> list[RoutedRequest]:
+        """Force pending micro-batches out (one spec, or all of them).
+
+        An empty queue (or an unknown/empty spec bucket) is a no-op
+        returning ``[]``.  Returns the completed requests in submission
+        order."""
+        if spec is not None:
+            specs = [spec] if self._buckets.get(spec) else []
+        else:
+            # Oldest-first across buckets, so backlogged traffic is served
+            # in arrival order.
+            specs = sorted(self._buckets, key=lambda s: self._buckets[s][0].seq)
+        completed: list[RoutedRequest] = []
+        for s in specs:
+            completed.extend(self._flush_bucket(s, "forced"))
+        return sorted(completed, key=lambda r: r.seq)
+
+    def drain(self) -> list[RoutedRequest]:
+        """Completed-but-undrained requests, in submission order.
+
+        Each completed request is returned exactly once across successive
+        ``drain`` calls — the consumption side of the ticket API for
+        callers that poll instead of holding tickets.  The window is
+        bounded by ``max_undrained``: entries older than that have aged
+        out (ticket holders are unaffected)."""
+        out = sorted(self._completed, key=lambda r: r.seq)
+        self._completed = []
+        return out
+
+    def predict_one(self, graph, spec) -> np.ndarray:
+        """Synchronous convenience: submit, force completion, return logits.
+
+        Piggy-backs on whatever the spec's bucket already holds — the
+        forced flush serves *all* of its pending requests in one forward,
+        so interleaving ``predict_one`` with ``submit`` traffic still
+        batches."""
+        request = self.submit(graph, spec)
+        if not request.done:
+            self._flush_bucket(spec, "forced")
+        return request.result()
+
+    # ------------------------------------------------------------------
+    def _flush_bucket(self, spec, trigger: str) -> list[RoutedRequest]:
+        bucket = self._buckets.pop(spec, None)
+        if not bucket:
+            return []
+        graphs = [request.graph for request in bucket]
+        # One disjoint-union collation + one forward for the whole
+        # micro-batch: batch_size=len(graphs) makes the shared loader
+        # yield a single batch, and the service's batch/plan/response
+        # caches apply to it like to any list request.
+        if self.onehot:
+            logits = self.service.predict_spec_onehot(graphs, spec,
+                                                      batch_size=len(graphs))
+        else:
+            logits = self.service.predict(graphs, spec,
+                                          batch_size=len(graphs))
+        for i, request in enumerate(bucket):
+            request._logits = np.array(logits[i], copy=True)
+        self.served += len(bucket)
+        self.batches += 1
+        self.flushes[trigger] += 1
+        self._completed.extend(bucket)
+        if len(self._completed) > self.max_undrained:
+            # Bound the drain window: a caller that holds its tickets and
+            # never drains must not make the router retain every served
+            # graph + logits row for the life of the process.
+            del self._completed[:len(self._completed) - self.max_undrained]
+        return bucket
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "pending": self.pending,
+            "served": self.served,
+            "batches": self.batches,
+            "mean_batch_size": (self.served / self.batches
+                                if self.batches else 0.0),
+            "flushes": dict(self.flushes),
+            "tick": self._tick,
+        }
+
+    def __repr__(self) -> str:
+        return (f"BatchingRouter(pending={self.pending}, served={self.served}, "
+                f"batches={self.batches}, max_batch_size={self.max_batch_size}, "
+                f"max_delay={self.max_delay})")

@@ -13,7 +13,12 @@ cache (PR 2) were built for: a long-lived process that answers
   supernet's one-hot fast path (``evaluate_spec``-style: one
   derived-model-shaped forward per batch, not one per candidate
   operator).  This is the primitive behind candidate ranking, ensembles
-  over searched strategies, and A/B scoring of specs on live traffic.
+  over searched strategies, and A/B scoring of specs on live traffic;
+  and
+* **single-graph requests** — :meth:`InferenceService.submit` /
+  :meth:`InferenceService.predict_one` route one-graph requests through
+  a :class:`~repro.serve.router.BatchingRouter` that assembles them into
+  server-side micro-batches (dynamic batching) before touching the model.
 
 Both paths restore the model's previous train/eval mode and produce
 logits bit-identical to a cold forward (fresh model + fresh uncached
@@ -119,6 +124,7 @@ class InferenceService:
         self._logit_cache: "OrderedDict" = OrderedDict()
         self.logit_hits = 0
         self.logit_misses = 0
+        self._default_router = None
 
     @classmethod
     def from_tuner(cls, tuner, batch_size: int = 64) -> "InferenceService":
@@ -269,9 +275,56 @@ class InferenceService:
         return results
 
     # ------------------------------------------------------------------
+    # Dynamic batching: single-graph requests through a BatchingRouter.
+    def router(self, **kwargs):
+        """A new :class:`~repro.serve.router.BatchingRouter` over this
+        service, installed as the default behind :meth:`submit` /
+        :meth:`flush` / :meth:`tick` / :meth:`predict_one`.  Keyword
+        arguments are the router's (``max_batch_size``, ``max_delay``,
+        ``max_pending``, ``max_undrained``, ``onehot``).
+
+        Replacing an existing default router first flushes its pending
+        requests — reconfiguring must not orphan queued tickets in an
+        unreachable router, where they would never resolve."""
+        from .router import BatchingRouter
+
+        if self._default_router is not None:
+            self._default_router.flush()
+        self._default_router = BatchingRouter(self, **kwargs)
+        return self._default_router
+
+    @property
+    def default_router(self):
+        """The router behind the single-graph facade (created on first
+        use with default parameters; configure via :meth:`router`)."""
+        if self._default_router is None:
+            self.router()
+        return self._default_router
+
+    def submit(self, graph, spec):
+        """Enqueue one graph for dynamic batching; returns its
+        :class:`~repro.serve.router.RoutedRequest` ticket."""
+        return self.default_router.submit(graph, spec)
+
+    def flush(self, spec=None):
+        """Force the default router's pending micro-batches out."""
+        return self.default_router.flush(spec)
+
+    def tick(self, ticks: int = 1):
+        """Advance the default router's simulated clock (deadline flushes)."""
+        return self.default_router.tick(ticks)
+
+    def predict_one(self, graph, spec) -> np.ndarray:
+        """Synchronous single-graph prediction through the router —
+        shape ``(num_tasks,)`` logits for one graph, batched with any
+        requests already queued for ``spec``."""
+        return self.default_router.predict_one(graph, spec)
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Combined registry + batch-cache + response-cache counters."""
-        return {
+        """Combined registry + batch-cache + response-cache counters
+        (plus the default router's, once one exists)."""
+        stats = {
             "models": self.models.stats(),
             "batches": self.batch_cache.stats(),
             "logits": {
@@ -281,6 +334,9 @@ class InferenceService:
                 "misses": self.logit_misses,
             },
         }
+        if self._default_router is not None:
+            stats["router"] = self._default_router.stats()
+        return stats
 
     def __repr__(self) -> str:
         return (f"InferenceService(models={len(self.models)}, "

@@ -66,3 +66,38 @@ class TestEvolution:
     def test_regression_dataset(self, tiny_regression_dataset):
         result = make_searcher(tiny_regression_dataset).search()
         assert np.isfinite(result.score)
+
+    def test_best_ever_survives_aging_out(self, tiny_dataset):
+        """Regression: regularized evolution ages the oldest individual out
+        each generation, so with generations >= population_size every
+        warm-up individual dies.  Under a fitness landscape where the very
+        first evaluated spec is the best ever and all children are worse,
+        the old argmax-over-survivors returned a worse survivor; the
+        searcher must return the best spec ever evaluated."""
+        searcher = make_searcher(tiny_dataset, population_size=3,
+                                 generations=4, warmup_epochs=0)
+        evaluated = []
+
+        def rigged_fitness(spec, valid_graphs):
+            evaluated.append(spec)
+            return 10.0 if len(evaluated) == 1 else 1.0 / len(evaluated)
+
+        searcher._fitness = rigged_fitness
+        result = searcher.search()
+
+        assert result.spec == evaluated[0]
+        assert result.score == 10.0
+        # The best individual is long dead: the surviving population's best
+        # is strictly worse, so the old code could not have returned it.
+        assert result.history[-1]["best_fitness"] < 10.0
+        assert result.history[-1]["best_ever_fitness"] == 10.0
+        assert result.history[-1]["best_ever"] == evaluated[0].describe()
+
+    def test_history_records_best_ever(self, tiny_dataset):
+        result = make_searcher(tiny_dataset).search()
+        for entry in result.history:
+            assert entry["best_ever_fitness"] >= entry["best_fitness"] - 1e-12
+        # best-ever is monotone over generations (roc_auc: higher better).
+        ever = [h["best_ever_fitness"] for h in result.history]
+        assert ever == sorted(ever)
+        assert result.score == ever[-1]

@@ -362,3 +362,51 @@ class TestModelRegistry:
     def test_spec_key_stable_and_distinct(self):
         assert spec_key(SPECS[0]) == spec_key(SPECS[0])
         assert spec_key(SPECS[0]) != spec_key(SPECS[1])
+
+    def test_remove_drops_model_and_pin(self):
+        """Regression: ``_pinned`` only ever grew — a removed/retired spec
+        left a stale pinned entry behind forever."""
+        registry = ModelRegistry(factory, num_tasks=1, capacity=2)
+        registry.add(SPECS[0], registry._build(SPECS[0]))  # pinned
+        assert registry.stats()["pinned"] == 1
+        assert registry.remove(SPECS[0])
+        assert SPECS[0] not in registry
+        assert registry.stats()["pinned"] == 0
+        assert registry._pinned == set()
+        # Removing again (or an unknown spec) reports nothing to do.
+        assert not registry.remove(SPECS[0])
+        assert not registry.remove(SPECS[1])
+
+    def test_remove_then_get_rebuilds_unpinned(self):
+        registry = ModelRegistry(factory, num_tasks=1, capacity=2)
+        pinned = registry.get(SPECS[0])
+        registry.add(SPECS[0], pinned)
+        registry.remove(SPECS[0])
+        rebuilt = registry.get(SPECS[0])
+        assert rebuilt is not pinned
+        # The rebuilt model is registry-built: evictable, not pinned.
+        registry.get(SPECS[1])
+        registry.get(SPECS[2])
+        assert SPECS[0] not in registry
+        assert registry.stats()["pinned"] == 0
+
+    def test_unpin_makes_model_evictable(self):
+        registry = ModelRegistry(factory, num_tasks=1, capacity=2)
+        registry.add(SPECS[0], registry._build(SPECS[0]))  # pinned, oldest
+        registry.get(SPECS[1])
+        assert registry.unpin(SPECS[0])
+        assert not registry.unpin(SPECS[0])  # already unpinned
+        assert registry.stats()["pinned"] == 0
+        registry.get(SPECS[2])  # at capacity: evicts the now-unpinned oldest
+        assert SPECS[0] not in registry
+        assert len(registry) == 2
+
+    def test_pinned_count_exact_under_churn(self):
+        registry = ModelRegistry(factory, num_tasks=1, capacity=2)
+        for spec in SPECS:
+            registry.add(spec, registry._build(spec))
+        assert registry.stats()["pinned"] == 3
+        registry.remove(SPECS[1])
+        registry.unpin(SPECS[2])
+        assert registry.stats()["pinned"] == 1
+        assert registry._pinned <= set(registry._models)

@@ -36,6 +36,15 @@ class TestParser:
         assert args.target == "serve"
         assert (args.specs, args.size, args.search_epochs) == (3, 80, 1)
 
+    def test_route_target_accepted(self):
+        args = build_parser().parse_args(["route"])
+        assert args.target == "route"
+        assert (args.requests, args.max_batch_size, args.max_delay) == (64, 16, 4)
+        args = build_parser().parse_args(
+            ["route", "--requests", "12", "--max-batch-size", "4",
+             "--max-delay", "2"])
+        assert (args.requests, args.max_batch_size, args.max_delay) == (12, 4, 2)
+
 
 class TestExecution:
     def test_space_target(self, capsys):
@@ -72,3 +81,13 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "requests/s" in out
+
+    def test_route_target_reports_dynamic_batching(self, capsys):
+        code = main(["route", "--size", "60", "--requests", "12",
+                     "--search-epochs", "1", "--emb-dim", "16",
+                     "--max-batch-size", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routed 12 single-graph requests" in out
+        assert "micro-batches" in out
+        assert "dynamic batching speedup" in out

@@ -5,7 +5,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics import higher_is_better, multitask_score, rmse_score, roc_auc_score
+from repro.metrics import (
+    UndefinedMetricError,
+    fallback_score,
+    higher_is_better,
+    multitask_score,
+    multitask_score_or_fallback,
+    rmse_score,
+    roc_auc_score,
+)
 
 
 class TestROCAUC:
@@ -111,6 +119,114 @@ class TestMultitask:
         y = np.array([[1.0, 0.0], [2.0, 0.0]])
         s = np.array([[1.0, 1.0], [2.0, 1.0]])
         assert multitask_score(y, s, "rmse") == pytest.approx(0.5)
+
+
+def _tie_average_ranks_loop(y_score):
+    """The sequential tie-scan the vectorized implementation replaced —
+    kept verbatim as the reference for the bit-identity property test."""
+    y_score = np.asarray(y_score, dtype=np.float64).ravel()
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty(len(y_score), dtype=np.float64)
+    ranks[order] = np.arange(1, len(y_score) + 1)
+    sorted_scores = y_score[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+class TestVectorizedTieRanks:
+    @given(scores=st.lists(
+        st.one_of(st.integers(-3, 3).map(float),
+                  st.floats(-5, 5, allow_nan=False, width=32).map(float),
+                  st.just(float("nan"))),
+        min_size=1, max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_bit_identical_to_loop_implementation(self, scores):
+        from repro.metrics import _tie_average_ranks
+
+        got = _tie_average_ranks(np.asarray(scores, dtype=np.float64))
+        assert np.array_equal(got, _tie_average_ranks_loop(scores))
+
+    def test_nan_scores_keep_positional_ranks(self):
+        """np.unique collapses NaNs into one tie group; the legacy scan
+        (NaN != NaN) ranked each NaN positionally — pinned explicitly."""
+        from repro.metrics import _tie_average_ranks
+
+        scores = np.array([np.nan, 1.0, np.nan, 1.0])
+        expected = _tie_average_ranks_loop(scores)
+        assert np.array_equal(_tie_average_ranks(scores), expected)
+        assert list(expected) == [3.0, 1.5, 4.0, 1.5]
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_auc_bit_identical_with_heavy_ties(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=50)
+        if len(np.unique(y)) < 2:
+            y[0], y[1] = 0, 1
+        s = rng.integers(0, 4, size=50).astype(np.float64)  # many ties
+        ranks = _tie_average_ranks_loop(s)
+        pos = y == 1
+        n_pos, n_neg = int(pos.sum()), int((y == 0).sum())
+        u = ranks[pos].sum() - n_pos * (n_pos + 1) / 2.0
+        assert roc_auc_score(y, s) == u / (n_pos * n_neg)
+
+
+class TestErrorTaxonomy:
+    """Undefined-on-this-data falls back; caller errors must propagate."""
+
+    def test_undefined_metric_error_is_value_error(self):
+        assert issubclass(UndefinedMetricError, ValueError)
+
+    def test_single_class_raises_undefined(self):
+        with pytest.raises(UndefinedMetricError):
+            roc_auc_score([1, 1], [0.3, 0.7])
+
+    def test_no_valid_tasks_raises_undefined(self):
+        with pytest.raises(UndefinedMetricError):
+            multitask_score(np.ones((3, 1)), np.zeros((3, 1)), "roc_auc")
+
+    def test_fallback_used_when_metric_undefined(self):
+        score = multitask_score_or_fallback(
+            np.ones((3, 1)), np.zeros((3, 1)), "roc_auc")
+        assert 0.0 <= score <= 1.0
+
+    def test_unknown_metric_propagates_through_fallback(self):
+        """Regression: an unknown metric name used to be silently scored by
+        the classification-likelihood surrogate — a nonsense number."""
+        with pytest.raises(ValueError, match="unknown metric"):
+            multitask_score_or_fallback(
+                np.array([[0.0], [1.0]]), np.array([[0.1], [0.9]]), "nonsense")
+
+    def test_unknown_metric_propagates_even_on_degenerate_labels(self):
+        # Single-class labels would previously reach fallback_score, which
+        # happily "scored" the unknown metric as a likelihood.
+        with pytest.raises(ValueError, match="unknown metric"):
+            multitask_score_or_fallback(np.ones((3, 1)), np.zeros((3, 1)), "f1")
+
+    def test_shape_mismatch_propagates_through_fallback(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            multitask_score_or_fallback(np.zeros((2, 1)), np.zeros((3, 1)),
+                                        "roc_auc")
+
+    def test_fallback_score_rejects_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            fallback_score(np.array([[1.0]]), np.array([[0.5]]), "nonsense")
+
+    def test_fallback_score_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            fallback_score(np.zeros((2, 1)), np.zeros((3, 1)), "roc_auc")
+
+    def test_valid_data_unaffected(self):
+        y = np.array([[0.0], [1.0], [0.0], [1.0]])
+        s = np.array([[0.1], [0.9], [0.2], [0.8]])
+        assert multitask_score_or_fallback(y, s, "roc_auc") == 1.0
 
 
 class TestDirection:
