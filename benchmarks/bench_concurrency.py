@@ -1,0 +1,233 @@
+"""Worker-pool throughput benchmark for the concurrent serving runtime.
+
+Drives one deterministic stream of single-graph requests through an
+:class:`repro.serve.InferenceServer` at worker counts 1 / 2 / 4 and emits
+``BENCH_concurrency.json``:
+
+* the driver thread submits requests round-robin over ``num_specs``
+  strategy specs with the ticker disabled, so micro-batch composition is
+  **identical across worker counts** (flush-on-size plus one trailing
+  forced flush) and every response can be asserted **bit-identical** to
+  the same stream executed serially through an inline (executor-less)
+  ``BatchingRouter`` on an independent, identically-seeded service —
+  concurrency must change *when* a micro-batch runs, never *what* it
+  computes;
+* response memoization is off and the batch/plan caches are warmed before
+  timing, so the measured work is micro-batch execution, not request
+  dedup or collation.
+
+Where the speedup comes from — and the single-core caveat
+---------------------------------------------------------
+A worker pool's win is overlap: while one worker is inside a micro-batch,
+the others keep draining the queue.  On a multi-core host the overlapped
+interval is the numpy/BLAS compute itself (those kernels release the
+GIL).  In the deployment this server targets, the overlapped interval is
+the **offload latency** — the worker thread blocks on an accelerator or
+a remote model shard while the CPU is free.  This CI box has **one CPU
+core** (``cpu_count`` is recorded in the JSON), so raw CPU overlap is
+physically impossible here; the benchmark therefore emulates the
+offload interval explicitly: the server's ``pre_execute`` hook sleeps
+``offload_stall_s`` per micro-batch, calibrated as ``stall_factor`` x the
+measured serial per-batch compute.  The sleep releases the GIL exactly
+like a device wait, so the worker-count sweep measures precisely the
+overlap machinery the pool exists for.  The pure-CPU sweep (stall 0) is
+also recorded — expect ~flat numbers on one core, real scaling on many.
+
+The acceptance contract is routed throughput at 4 workers >= 2x the
+1-worker number on the stalled config, with bit-identical logits.
+
+Run modes:
+
+* ``python benchmarks/bench_concurrency.py`` — full config, writes the
+  JSON snapshot next to this file (``--smoke`` / ``REPRO_BENCH_TIER=smoke``
+  for a fast sanity config that does not overwrite the snapshot).
+* ``pytest benchmarks/bench_concurrency.py`` — smoke config, asserts the
+  throughput/parity contract, does not overwrite the snapshot
+  (``REPRO_BENCH_WRITE=1`` writes it; ``REPRO_BENCH_SKIP=1`` skips).
+"""
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+RESULT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "BENCH_concurrency.json")
+
+SMOKE = {"num_layers": 3, "emb_dim": 16, "dataset_size": 60, "requests": 96,
+         "max_batch_size": 8, "num_specs": 2, "repeats": 2,
+         "stall_factor": 3.0, "workers": (1, 2, 4)}
+FULL = {"num_layers": 3, "emb_dim": 32, "dataset_size": 120, "requests": 256,
+        "max_batch_size": 16, "num_specs": 4, "repeats": 3,
+        "stall_factor": 3.0, "workers": (1, 2, 4)}
+
+
+def smoke_mode() -> bool:
+    return (os.environ.get("REPRO_BENCH_TIER") == "smoke"
+            or "--smoke" in sys.argv)
+
+
+def _build(cfg, seed=0):
+    from repro.core import DEFAULT_SPACE
+    from repro.gnn import GNNEncoder
+    from repro.graph import load_dataset
+    from repro.serve import InferenceService
+
+    dataset = load_dataset("bbbp", size=cfg["dataset_size"])
+
+    def encoder_factory():
+        return GNNEncoder("gin", num_layers=cfg["num_layers"],
+                          emb_dim=cfg["emb_dim"], dropout=0.0, seed=seed)
+
+    def make_service():
+        # Memoization off: every run must re-execute its forwards, so the
+        # sweep measures micro-batch execution, not response dedup.
+        return InferenceService(encoder_factory, dataset.num_tasks, seed=seed,
+                                logit_cache_size=0)
+
+    rng = np.random.default_rng((seed, 91))
+    specs = [DEFAULT_SPACE.random_spec(cfg["num_layers"], rng)
+             for _ in range(cfg["num_specs"])]
+    stream = [(dataset.graphs[i % len(dataset.graphs)],
+               specs[i % len(specs)]) for i in range(cfg["requests"])]
+    return dataset, make_service, specs, stream
+
+
+def _run_serial(service, stream, max_batch_size):
+    """The stream through an inline router: the bit-parity reference.
+
+    Round-robin submission + flush-on-size makes the micro-batch
+    composition a pure function of the stream, so the threaded runs (same
+    router parameters, ticker off) assemble byte-for-byte the same
+    batches."""
+    from repro.serve import BatchingRouter
+
+    router = BatchingRouter(service, max_batch_size=max_batch_size,
+                            max_delay=10_000, max_pending=10_000)
+    tickets = [router.submit(graph, spec) for graph, spec in stream]
+    router.flush()
+    return [t.result() for t in tickets], router.stats()
+
+
+def _run_server(service, stream, max_batch_size, num_workers, stall_s):
+    """The stream through a worker-pool server; returns (rows, seconds)."""
+    from repro.serve import InferenceServer
+
+    pre_execute = (lambda: time.sleep(stall_s)) if stall_s else None
+    server = InferenceServer(service, num_workers=num_workers,
+                             max_batch_size=max_batch_size, max_delay=10_000,
+                             tick_interval_s=None, queue_size=1024,
+                             pre_execute=pre_execute)
+    with server:
+        start = time.perf_counter()
+        tickets = [server.submit(graph, spec) for graph, spec in stream]
+        server.flush()
+        rows = [t.wait(timeout=600) for t in tickets]
+        elapsed = time.perf_counter() - start
+    if server.worker_errors:
+        raise RuntimeError(f"worker errors: {server.worker_errors!r}")
+    return rows, elapsed
+
+
+def bench_worker_sweep(cfg, seed=0):
+    dataset, make_service, specs, stream = _build(cfg, seed)
+    requests = cfg["requests"]
+
+    # Serial reference on an independent, identically-seeded service.
+    reference_service = make_service()
+    serial_rows, _ = _run_serial(reference_service, stream,
+                                 cfg["max_batch_size"])
+
+    # Shared service for the sweep: models built + caches warmed once, so
+    # every worker count times the same steady state.
+    service = make_service()
+    warm_rows, serial_stats = _run_serial(service, stream,
+                                          cfg["max_batch_size"])
+    start = time.perf_counter()
+    _run_serial(service, stream, cfg["max_batch_size"])
+    serial_steady_s = time.perf_counter() - start
+    num_batches = serial_stats["batches"]
+    batch_compute_s = serial_steady_s / num_batches
+    stall_s = cfg["stall_factor"] * batch_compute_s
+
+    def sweep(stall):
+        per_worker = {}
+        for workers in cfg["workers"]:
+            best = np.inf
+            for _ in range(cfg["repeats"]):
+                rows, elapsed = _run_server(service, stream,
+                                            cfg["max_batch_size"], workers,
+                                            stall)
+                assert len(rows) == requests
+                for row, ref in zip(rows, serial_rows):
+                    assert np.array_equal(row, ref), "parity violation"
+                best = min(best, elapsed)
+            per_worker[str(workers)] = {
+                "seconds": best,
+                "requests_per_s": requests / best,
+            }
+        base = per_worker[str(cfg["workers"][0])]["requests_per_s"]
+        for entry in per_worker.values():
+            entry["speedup_vs_1_worker"] = entry["requests_per_s"] / base
+        return per_worker
+
+    stalled = sweep(stall_s)
+    pure_cpu = sweep(0.0)
+    return {
+        "requests": requests,
+        "num_specs": len(specs),
+        "max_batch_size": cfg["max_batch_size"],
+        "micro_batches_per_run": num_batches,
+        "cpu_count": os.cpu_count(),
+        "serial_steady_s": serial_steady_s,
+        "batch_compute_s": batch_compute_s,
+        "offload_stall_s": stall_s,
+        "stall_factor": cfg["stall_factor"],
+        "parity": "bit-identical to serial inline router (asserted per run)",
+        "stalled_offload": stalled,
+        "pure_cpu": pure_cpu,
+        "speedup_4_vs_1_workers": stalled[str(cfg["workers"][-1])][
+            "speedup_vs_1_worker"],
+    }
+
+
+def run_benchmark(cfg=None, seed=0):
+    cfg = cfg or (SMOKE if smoke_mode() else FULL)
+    return {
+        "benchmark": "concurrency",
+        "config": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in cfg.items()},
+        "worker_sweep": bench_worker_sweep(cfg, seed),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (smoke tier)
+# ----------------------------------------------------------------------
+def test_concurrency_throughput_contract():
+    import pytest
+
+    if os.environ.get("REPRO_BENCH_SKIP") == "1":
+        pytest.skip("REPRO_BENCH_SKIP=1")
+    results = run_benchmark(SMOKE)
+    print(json.dumps(results, indent=2))
+    sweep = results["worker_sweep"]
+    # Parity is asserted inside the sweep (bit-identical rows per run).
+    assert sweep["speedup_4_vs_1_workers"] >= 2.0, sweep
+    assert sweep["stalled_offload"]["2"]["speedup_vs_1_worker"] >= 1.3, sweep
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        with open(RESULT_PATH, "w") as f:
+            json.dump(results, f, indent=2)
+
+
+if __name__ == "__main__":
+    results = run_benchmark()
+    print(json.dumps(results, indent=2))
+    if smoke_mode():
+        print("\nsmoke mode: snapshot not written")
+    else:
+        with open(RESULT_PATH, "w") as f:
+            json.dump(results, f, indent=2)
+        print(f"\nwrote {RESULT_PATH}")

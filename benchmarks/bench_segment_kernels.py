@@ -15,6 +15,11 @@ batch, E ~= 50k directed edges), comparing:
 2. **plan-cached vs plan-per-call** — reusing one precomputed
    :class:`SegmentPlan` (what ``Batch`` caching gives every model-level
    call) against rebuilding the plan from the raw index array per call.
+3. **gather-backward scatter** (PR 5) — the ``gather`` / ``__getitem__``
+   adjoint for *repeated* index arrays (embedding-id columns of cached
+   batches): the two-touch cached-plan scatter in
+   :func:`repro.nn.segment.scatter_add` against the ``np.add.at``
+   reference it replaced.
 
 Per-op feature widths mirror the model hot paths: message aggregation
 (sum/mean/max) runs at the encoder width, attention softmax at GAT's
@@ -138,6 +143,57 @@ def bench_backends(num_graphs=1800, emb_dim=32, num_heads=2, repeats=5, seed=0):
     }
 
 
+def bench_gather_backward(num_graphs=1800, emb_dim=32, repeats=5, seed=0):
+    """Scatter-add adjoint of embedding-style gathers: cached plan vs add.at.
+
+    The workload mirrors ``Embedding`` lookups on a cached batch: the same
+    atom-type column (one view of ``batch.x`` per forward) gathers rows of
+    a small weight table every epoch, and every backward scatter-adds the
+    output gradient back onto the table.
+    """
+    from repro.nn import Tensor, gather, use_backend
+    from repro.nn.segment import scatter_add
+    from repro.graph import Batch, load_dataset
+
+    dataset = load_dataset("bbbp", size=num_graphs)
+    batch = Batch(dataset.graphs)
+    ids = batch.x[:, 0]          # stable storage: the repeated-index case
+    num_rows = int(ids.max()) + 1
+    rng = np.random.default_rng(seed)
+    g = rng.normal(size=(ids.size, emb_dim))
+    weight = rng.normal(size=(num_rows, emb_dim))
+
+    def legacy_scatter():
+        with use_backend("legacy"):
+            scatter_add(g, ids, num_rows)
+
+    def plan_scatter():
+        scatter_add(g, ids, num_rows)
+
+    def roundtrip(backend):
+        def run():
+            x = Tensor(weight, requires_grad=True)
+            with use_backend(backend):
+                gather(x, batch.x[:, 0]).backward(g)
+        return run
+
+    plan_scatter(), plan_scatter()  # two-touch: build + cache the plan
+    row = {
+        "num_items": int(ids.size),
+        "num_rows": num_rows,
+        "feature_dim": emb_dim,
+        "legacy_scatter_s": _time(legacy_scatter, repeats),
+        "plan_scatter_s": _time(plan_scatter, repeats),
+        "legacy_roundtrip_s": _time(roundtrip("legacy"), repeats),
+        "plan_roundtrip_s": _time(roundtrip("reduceat"), repeats),
+    }
+    row["scatter_speedup_plan_vs_legacy"] = (
+        row["legacy_scatter_s"] / row["plan_scatter_s"])
+    row["roundtrip_speedup_plan_vs_legacy"] = (
+        row["legacy_roundtrip_s"] / row["plan_roundtrip_s"])
+    return row
+
+
 def bench_plan_build(num_graphs=1800, repeats=3, seed=0):
     """One-off cost of plan construction (amortized away by Batch caching)."""
     from repro.nn import SegmentPlan
@@ -168,6 +224,8 @@ def run_benchmark(num_graphs=1800, emb_dim=32, num_heads=2, repeats=5, seed=0):
         "benchmark": "segment_kernels",
         "config": config,
         "backends": bench_backends(num_graphs, emb_dim, num_heads, repeats, seed),
+        "gather_backward": bench_gather_backward(num_graphs, emb_dim, repeats,
+                                                 seed),
         "plan_build": bench_plan_build(num_graphs, max(repeats // 2, 1), seed),
     }
 
@@ -189,6 +247,9 @@ def test_segment_kernel_speedup_contract():
         assert row["kernel_speedup_plan_vs_legacy"] >= 1.2, (op_name, row)
         assert row["kernel_speedup_plan_vs_per_call"] >= 0.9, (op_name, row)
         assert row["roundtrip_speedup_plan_vs_legacy"] >= 0.95, (op_name, row)
+    scatter = results["gather_backward"]
+    assert scatter["scatter_speedup_plan_vs_legacy"] >= 2.0, scatter
+    assert scatter["roundtrip_speedup_plan_vs_legacy"] >= 1.0, scatter
     if os.environ.get("REPRO_BENCH_WRITE") == "1":
         with open(RESULT_PATH, "w") as f:
             json.dump(results, f, indent=2)

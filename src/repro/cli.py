@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli score --specs 8 # search, then fan-out spec scoring
     python -m repro.cli serve           # + repeated-request throughput demo
     python -m repro.cli route           # dynamic-batching router demo
+    python -m repro.cli serve-forever   # concurrent HTTP serving runtime
 
 ``score`` runs a short strategy search and then scores candidate specs
 through :class:`repro.serve.InferenceService` — every spec is evaluated
@@ -18,8 +19,13 @@ against the persistent derived model and reports requests/sec.  ``route``
 feeds a stream of *single-graph* requests through the
 :class:`repro.serve.BatchingRouter` (server-side micro-batches, flush on
 size or simulated-clock deadline) and compares its throughput against the
-per-request batch-of-one path.  Table results are printed in the paper's
-row layout (see :mod:`repro.experiments.tables`).
+per-request batch-of-one path.  ``serve-forever`` stands up the full
+concurrent runtime — an :class:`repro.serve.InferenceServer` (real-clock
+ticker + worker pool) behind the stdlib HTTP/JSON transport — and serves
+until interrupted (or for ``--duration`` seconds; ``--self-test N`` runs
+N loopback requests through the HTTP client and exits, as a deployment
+smoke test).  Table results are printed in the paper's row layout (see
+:mod:`repro.experiments.tables`).
 """
 
 from __future__ import annotations
@@ -84,11 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_TABLES) + ["space", "score", "serve", "route"],
+        choices=sorted(_TABLES) + ["space", "score", "serve", "route",
+                                   "serve-forever"],
         help="paper table to regenerate, 'space' (Remark 3 numbers), "
              "'score' (many-spec serving fan-out), 'serve' "
-             "(score + repeated-request throughput) or 'route' "
-             "(dynamic-batching single-request router demo)",
+             "(score + repeated-request throughput), 'route' "
+             "(dynamic-batching single-request router demo) or "
+             "'serve-forever' (concurrent HTTP serving runtime)",
     )
     parser.add_argument(
         "--tier", choices=["smoke", "bench"], default="bench",
@@ -134,6 +142,25 @@ def build_parser() -> argparse.ArgumentParser:
     routing.add_argument(
         "--max-delay", type=int, default=4,
         help="router deadline in simulated-clock ticks")
+    server = parser.add_argument_group("serve-forever options")
+    server.add_argument(
+        "--host", default="127.0.0.1", help="HTTP bind address")
+    server.add_argument(
+        "--port", type=int, default=8000,
+        help="HTTP port (0 picks an ephemeral port)")
+    server.add_argument(
+        "--workers", type=int, default=2,
+        help="micro-batch worker threads")
+    server.add_argument(
+        "--tick-interval", type=float, default=0.002,
+        help="seconds per router clock tick (deadline = max-delay ticks)")
+    server.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds, then exit (default: forever)")
+    server.add_argument(
+        "--self-test", type=int, default=0, metavar="N",
+        help="send N loopback requests through the HTTP client, print "
+             "stats and exit (deployment smoke test)")
     return parser
 
 
@@ -274,6 +301,57 @@ def _run_router(args) -> int:
     return 0
 
 
+def _run_server(args) -> int:
+    """``serve-forever``: the concurrent runtime behind the HTTP transport."""
+    import time as _time
+
+    import numpy as np
+
+    from .serve import HTTPServingClient, HTTPServingTransport, InferenceServer
+
+    dataset, searcher, result, service = _serving_context(args)
+    _, _, test_graphs = dataset.split()
+    rng = np.random.default_rng((args.seed, 79))
+    specs = [result.spec, searcher.space.random_spec(args.layers, rng)]
+
+    server = InferenceServer(
+        service, num_workers=args.workers, max_batch_size=args.max_batch_size,
+        max_delay=args.max_delay, tick_interval_s=args.tick_interval)
+    with server, HTTPServingTransport(server, host=args.host,
+                                      port=args.port) as transport:
+        print(f"\nserving on {transport.url}  "
+              f"({args.workers} workers, micro-batch {args.max_batch_size}, "
+              f"deadline ~{args.max_delay * args.tick_interval * 1e3:.1f}ms)")
+        print("endpoints: POST /predict /submit /result, GET /stats; e.g.\n"
+              f"  curl -s {transport.url}/stats")
+
+        if args.self_test:
+            client = HTTPServingClient(transport.url)
+            start = time.perf_counter()
+            for i in range(args.self_test):
+                graph = test_graphs[i % len(test_graphs)]
+                logits = client.predict(graph, specs[i % len(specs)])
+                assert logits.shape == (dataset.num_tasks,)
+            elapsed = time.perf_counter() - start
+            stats = client.stats()
+            print(f"\nself-test: {args.self_test} HTTP predict round-trips "
+                  f"in {elapsed:.3f}s ({args.self_test / elapsed:.1f} req/s)")
+            print(f"router: {stats['server_router']['batches']} micro-batches, "
+                  f"flushes {stats['server_router']['flushes']}; "
+                  f"workers executed {stats['server']['executed_batches']}")
+            return 0
+        if args.duration is not None:
+            _time.sleep(args.duration)
+            print(f"\n--duration {args.duration}s elapsed; shutting down")
+            return 0
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\ninterrupted; shutting down")
+            return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -290,6 +368,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target == "route":
         return _run_router(args)
+
+    if args.target == "serve-forever":
+        return _run_server(args)
 
     scale = configs.SMOKE_SCALE if args.tier == "smoke" else configs.BENCH_SCALE
     run, render = _TABLES[args.target]

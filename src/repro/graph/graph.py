@@ -23,6 +23,7 @@ across every epoch and every search/evolution/finetune phase.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -152,7 +153,11 @@ class Batch:
             self.y = None
         # Lazy per-batch precomputation (built on first use, then reused
         # for the lifetime of the batch — i.e. every epoch under a caching
-        # loader).  Valid because collated arrays are never mutated.
+        # loader).  Valid because collated arrays are never mutated.  The
+        # lock only guards the one-time builds: concurrent serving workers
+        # sharing a cached batch must not each build (and race to publish)
+        # their own plan.
+        self._plan_lock = threading.Lock()
         self._edge_plan: SegmentPlan | None = None
         self._edge_src_plan: SegmentPlan | None = None
         self._node_plan: SegmentPlan | None = None
@@ -173,7 +178,9 @@ class Batch:
         attention softmax reduces with (segments = target nodes).
         """
         if self._edge_plan is None:
-            self._edge_plan = SegmentPlan(self.edge_index[1], self.num_nodes)
+            with self._plan_lock:
+                if self._edge_plan is None:
+                    self._edge_plan = SegmentPlan(self.edge_index[1], self.num_nodes)
         return self._edge_plan
 
     def edge_src_plan(self) -> SegmentPlan:
@@ -184,7 +191,10 @@ class Batch:
         through the fast segment-sum kernel.
         """
         if self._edge_src_plan is None:
-            self._edge_src_plan = SegmentPlan(self.edge_index[0], self.num_nodes)
+            with self._plan_lock:
+                if self._edge_src_plan is None:
+                    self._edge_src_plan = SegmentPlan(self.edge_index[0],
+                                                      self.num_nodes)
         return self._edge_src_plan
 
     def node_plan(self) -> SegmentPlan:
@@ -193,7 +203,9 @@ class Batch:
         This is the plan every readout pools with (segments = graph ids).
         """
         if self._node_plan is None:
-            self._node_plan = SegmentPlan(self.batch, self.num_graphs)
+            with self._plan_lock:
+                if self._node_plan is None:
+                    self._node_plan = SegmentPlan(self.batch, self.num_graphs)
         return self._node_plan
 
     def gcn_inv_sqrt_deg(self) -> np.ndarray:
@@ -203,7 +215,10 @@ class Batch:
         directed edge list, plus the implicit self-loop).
         """
         if self._gcn_inv_sqrt_deg is None:
-            self._gcn_inv_sqrt_deg = 1.0 / np.sqrt(self.edge_plan().counts + 1.0)
+            counts = self.edge_plan().counts  # outside the lock: re-entrant build
+            with self._plan_lock:
+                if self._gcn_inv_sqrt_deg is None:
+                    self._gcn_inv_sqrt_deg = 1.0 / np.sqrt(counts + 1.0)
         return self._gcn_inv_sqrt_deg
 
     def label_mask(self) -> np.ndarray:

@@ -21,6 +21,8 @@ mode re-collates per epoch and therefore also rebuilds plans per epoch.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from .graph import Batch, Graph
@@ -73,6 +75,10 @@ class DataLoader:
         self.cache = cache
         self.num_collations = 0
         self._cached_batches: list[Batch] | None = None
+        # Guards the one-time cached-partition build (and its collation
+        # counter) so concurrent serving workers iterating one shared
+        # cached loader collate each split exactly once.
+        self._cache_lock = threading.Lock()
 
     def __len__(self) -> int:
         n = len(self.graphs)
@@ -94,17 +100,19 @@ class DataLoader:
         ``shuffle`` the partition preserves dataset order.
         """
         if self._cached_batches is None:
-            n = len(self.graphs)
-            order = np.arange(n)
-            if self.shuffle:
-                self.rng.shuffle(order)
-            batches = []
-            for start in range(0, n, self.batch_size):
-                idx = order[start:start + self.batch_size]
-                if self.drop_last and idx.size < self.batch_size:
-                    break
-                batches.append(self._collate(idx))
-            self._cached_batches = batches
+            with self._cache_lock:
+                if self._cached_batches is None:
+                    n = len(self.graphs)
+                    order = np.arange(n)
+                    if self.shuffle:
+                        self.rng.shuffle(order)
+                    batches = []
+                    for start in range(0, n, self.batch_size):
+                        idx = order[start:start + self.batch_size]
+                        if self.drop_last and idx.size < self.batch_size:
+                            break
+                        batches.append(self._collate(idx))
+                    self._cached_batches = batches
         return self._cached_batches
 
     def materialize(self) -> list[Batch]:

@@ -60,6 +60,11 @@ through :mod:`repro.nn.tensor`'s implementations.
 
 from __future__ import annotations
 
+import contextvars
+import threading
+import weakref
+from collections import OrderedDict
+
 import numpy as np
 
 from . import tensor as _tensor
@@ -78,6 +83,7 @@ __all__ = [
     "segment_max",
     "segment_softmax",
     "gather_segments",
+    "scatter_add",
     "use_backend",
     "active_backend",
 ]
@@ -88,12 +94,18 @@ _VERTICAL_MAX_RANK_LIMIT = 64
 
 
 _BACKENDS = ("reduceat", "legacy")
-_ACTIVE_BACKEND = ["reduceat"]
+#: Context-local backend selection.  A ``ContextVar`` instead of a
+#: process-global stack makes ``use_backend`` compose across threads: a
+#: differential test pinning the legacy backend in one thread cannot
+#: reroute forwards running concurrently on serving workers.  Fresh
+#: threads start from the default ("reduceat") backend.
+_ACTIVE_BACKEND: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_segment_backend", default="reduceat")
 
 
 def active_backend() -> str:
-    """Name of the backend segment ops currently dispatch to."""
-    return _ACTIVE_BACKEND[-1]
+    """Name of the backend segment ops currently dispatch to (context-local)."""
+    return _ACTIVE_BACKEND.get()
 
 
 class use_backend:
@@ -102,19 +114,23 @@ class use_backend:
     ``"reduceat"`` (default) is the plan-backed fast path; ``"legacy"``
     routes through the ``np.add.at`` reference implementations in
     :mod:`repro.nn.tensor` for differential testing.
+
+    The selection is context-local (``contextvars``), so it only affects
+    the entering thread; one instance may be re-entered / nested.
     """
 
     def __init__(self, name: str):
         if name not in _BACKENDS:
             raise ValueError(f"unknown backend {name!r}; known: {_BACKENDS}")
         self.name = name
+        self._tokens: list[contextvars.Token] = []
 
     def __enter__(self):
-        _ACTIVE_BACKEND.append(self.name)
+        self._tokens.append(_ACTIVE_BACKEND.set(self.name))
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        _ACTIVE_BACKEND.pop()
+        _ACTIVE_BACKEND.reset(self._tokens.pop())
         return False
 
 
@@ -284,7 +300,7 @@ def segment_sum(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     as the legacy op.
     """
     x = as_tensor(x)
-    if _ACTIVE_BACKEND[-1] == "legacy":
+    if _ACTIVE_BACKEND.get() == "legacy":
         ids, n = _ids_of(index, num_segments)
         return _tensor.segment_sum(x, ids, n)
     plan = as_plan(index, num_segments)
@@ -305,7 +321,7 @@ def segment_mean(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     ``bincount`` + reciprocal tensor.
     """
     x = as_tensor(x)
-    if _ACTIVE_BACKEND[-1] == "legacy":
+    if _ACTIVE_BACKEND.get() == "legacy":
         ids, n = _ids_of(index, num_segments)
         return _tensor.segment_mean(x, ids, n)
     plan = as_plan(index, num_segments)
@@ -326,7 +342,7 @@ def segment_max(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     the legacy op; the tie counts are themselves one ``reduceat`` sweep.
     """
     x = as_tensor(x)
-    if _ACTIVE_BACKEND[-1] == "legacy":
+    if _ACTIVE_BACKEND.get() == "legacy":
         ids, n = _ids_of(index, num_segments)
         return _tensor.segment_max(x, ids, n)
     plan = as_plan(index, num_segments)
@@ -353,7 +369,7 @@ def gather_segments(x: Tensor, index, num_segments: int | None = None) -> Tensor
     state to edges, per-graph state to nodes).
     """
     x = as_tensor(x)
-    if _ACTIVE_BACKEND[-1] == "legacy":
+    if _ACTIVE_BACKEND.get() == "legacy":
         ids, _ = _ids_of(index, num_segments)
         return gather(x, ids)
     plan = as_plan(index, num_segments)
@@ -366,6 +382,107 @@ def gather_segments(x: Tensor, index, num_segments: int | None = None) -> Tensor
     return Tensor._result(out_data, (x,), "gather_segments", backward)
 
 
+# ----------------------------------------------------------------------
+# Repeated-index scatter plans (gather / __getitem__ adjoints)
+# ----------------------------------------------------------------------
+#: Two-touch LRU of scatter plans keyed by index-array *storage*:
+#: ``(id(root base), data pointer, strides, shape, dtype, num_segments)``.
+#: Keying by storage instead of object identity makes repeated views hit —
+#: ``batch.x[:, 0]`` builds a fresh view object per forward, but its base,
+#: pointer and strides are stable for a cached batch.  The value holds a
+#: weakref to the root base: a dead (or id-recycled) base invalidates the
+#: entry.  Entries are created on first sight with no plan (``None``) and
+#: only pay plan construction on the *second* touch, so one-shot index
+#: arrays (a fresh SortPool ordering) never pay for a plan they would use
+#: once; ``False`` marks arrays that cannot be planned (negative indices).
+_SCATTER_PLAN_CAPACITY = 256
+_scatter_plan_lock = threading.Lock()
+_scatter_plans: "OrderedDict[tuple, tuple[weakref.ref, SegmentPlan | None | bool]]" = (
+    OrderedDict())
+
+
+def _scatter_key(ids: np.ndarray, num_segments: int):
+    """Storage-identity key for ``ids`` (and its weakref-able root base)."""
+    target = ids
+    while isinstance(target.base, np.ndarray):
+        target = target.base
+    if target.base is not None:
+        # Rooted in a non-ndarray buffer (mmap, bytes): not weakref-trackable.
+        return None, None
+    return (id(target), ids.__array_interface__["data"][0], ids.strides,
+            ids.shape, ids.dtype.str, int(num_segments)), target
+
+
+def _repeated_index_plan(ids: np.ndarray, num_segments: int) -> SegmentPlan | None:
+    """The cached scatter plan for ``ids``, or None to use ``np.add.at``."""
+    key, target = _scatter_key(ids, num_segments)
+    if key is None:
+        return None
+    with _scatter_plan_lock:
+        entry = _scatter_plans.get(key)
+        if entry is not None:
+            ref, plan = entry
+            if ref() is target:
+                _scatter_plans.move_to_end(key)
+                if plan is not None:
+                    return plan if plan is not False else None
+            else:  # base died; id()s may have been recycled — rebuild
+                del _scatter_plans[key]
+                entry = None
+    if entry is None:
+        try:
+            ref = weakref.ref(target)
+        except TypeError:  # pragma: no cover - ndarrays are weakref-able
+            return None
+        with _scatter_plan_lock:
+            while len(_scatter_plans) >= _SCATTER_PLAN_CAPACITY:
+                _scatter_plans.popitem(last=False)
+            _scatter_plans.setdefault(key, (ref, None))
+        return None
+    # Second touch: the array repeats — build (and keep) its plan.
+    if ids.size and ids.min() < 0:
+        plan = False  # negative indices: numpy-valid, plan-invalid
+    else:
+        plan = SegmentPlan(ids, num_segments)
+        plan.csr()  # warm the kernel cache: this path is the repeated one
+    with _scatter_plan_lock:
+        while len(_scatter_plans) >= _SCATTER_PLAN_CAPACITY:
+            _scatter_plans.popitem(last=False)
+        _scatter_plans[key] = (weakref.ref(target), plan)
+    return plan if plan is not False else None
+
+
+def scatter_add(g, index: np.ndarray, num_rows: int) -> np.ndarray:
+    """Sum rows of ``g`` into ``num_rows`` buckets selected by ``index``.
+
+    The adjoint of a row gather: ``out[index[i]] += g[i]``, duplicate
+    indices accumulating in appearance order.  Repeated index arrays
+    (embedding-id columns of cached batches, reused top-k selections) are
+    recognized by storage identity and served through a cached
+    :class:`SegmentPlan` — bit-identical to ``np.add.at`` because the
+    plan's stable sort preserves each bucket's appearance order.  First
+    sightings, negative indices and the legacy backend all take the plain
+    ``np.add.at`` scatter.
+
+    The storage key inherits the plan layer's immutability contract:
+    *don't mutate a repeated index array in place* (``idx[:] = ...``
+    keeps the same base/pointer/strides, so the cached plan would go
+    stale and scatter into the old buckets).  Rebind a fresh array
+    instead — collated batches and embedding-id columns already satisfy
+    this, being frozen after collation.
+    """
+    g = np.asarray(g, dtype=np.float64)
+    index = np.asarray(index, dtype=np.int64)
+    plan = None
+    if _ACTIVE_BACKEND.get() != "legacy" and index.ndim == 1:
+        plan = _repeated_index_plan(index, num_rows)
+    if plan is not None:
+        return _reduce_sum_data(g, plan)
+    out = np.zeros((num_rows,) + g.shape[index.ndim:], dtype=np.float64)
+    np.add.at(out, index, g)
+    return out
+
+
 def segment_softmax(scores: Tensor, index, num_segments: int | None = None) -> Tensor:
     """Softmax of ``scores`` grouped by segment (per-destination attention).
 
@@ -376,7 +493,7 @@ def segment_softmax(scores: Tensor, index, num_segments: int | None = None) -> T
     here and shared by the max / sum / gather sub-ops.
     """
     scores = as_tensor(scores)
-    if _ACTIVE_BACKEND[-1] != "legacy":
+    if _ACTIVE_BACKEND.get() != "legacy":
         index = as_plan(index, num_segments)
         num_segments = None
     seg_max = segment_max(scores, index, num_segments).detach()

@@ -1,18 +1,31 @@
 """``repro.serve`` — batch-serving layer on top of the fast-path stack.
 
-Four pieces: :class:`BatchCacheRegistry` (one collated + plan-cached
+Six pieces: :class:`BatchCacheRegistry` (one collated + plan-cached
 loader per graph set and batch size, shared by every phase of a run),
 :class:`ModelRegistry` (persistent derived models keyed by spec, LRU),
 :class:`InferenceService` (prediction requests + many-spec scoring
-fan-outs over the shared caches), and :class:`BatchingRouter` (dynamic
+fan-outs over the shared caches), :class:`BatchingRouter` (dynamic
 batching: single-graph requests bucketed by spec into server-side
-micro-batches, flushed on size or deadline).
+micro-batches, flushed on size or deadline), :class:`InferenceServer`
+(the concurrent front end: real-clock ticker thread + worker pool
+executing flushed micro-batches), and the transports
+(:class:`InProcessTransport` / :class:`HTTPServingTransport` — one JSON
+dict protocol exposing submit/predict/stats in-process or over stdlib
+HTTP).  The whole stack is thread-safe; :mod:`repro.serve.service`
+documents the lock order.
 """
 
 from .cache import BatchCacheRegistry
 from .registry import ModelRegistry, spec_key
 from .router import BatchingRouter, RoutedRequest
+from .server import InferenceServer
 from .service import InferenceService, SpecScore
+from .transport import (
+    HTTPServingClient,
+    HTTPServingTransport,
+    InProcessTransport,
+    ServingProtocol,
+)
 
 __all__ = [
     "BatchCacheRegistry",
@@ -21,5 +34,10 @@ __all__ = [
     "BatchingRouter",
     "RoutedRequest",
     "InferenceService",
+    "InferenceServer",
     "SpecScore",
+    "ServingProtocol",
+    "InProcessTransport",
+    "HTTPServingTransport",
+    "HTTPServingClient",
 ]

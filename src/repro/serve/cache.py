@@ -24,10 +24,19 @@ The contract is the segment-plan layer's immutable-after-collation rule:
 a cached batch (and its plans) is valid as long as the underlying graphs
 are unchanged.  Callers that mutate graphs must :meth:`invalidate
 <BatchCacheRegistry.invalidate>` first (or bypass the registry).
+
+Thread safety
+-------------
+The registry is safe to share across serving workers: one coarse ``RLock``
+guards the entry map and counters.  It is a *leaf* lock in the serve
+stack's documented lock order (see :mod:`repro.serve.service`) — nothing
+is called back out of the registry while it is held except loader
+construction, which takes no serve-layer locks.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..graph.loader import DataLoader
@@ -63,6 +72,7 @@ class BatchCacheRegistry:
         # Collations done by since-dropped loaders, so stats() stays a
         # monotonic total across evictions and invalidations.
         self._dropped_collations = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -77,20 +87,21 @@ class BatchCacheRegistry:
         registry exists for.
         """
         key = self._key(graphs, batch_size)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
-        while len(self._entries) >= self.capacity:
-            _, (_, dropped) = self._entries.popitem(last=False)
-            self._dropped_collations += dropped.num_collations
-        loader = DataLoader(graphs, batch_size=batch_size, cache=True)
-        # Pin the loader's own member list so the id()s in the key stay
-        # valid for exactly the entry's lifetime.
-        self._entries[key] = (loader.graphs, loader)
-        return loader
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            while len(self._entries) >= self.capacity:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._dropped_collations += dropped.num_collations
+            loader = DataLoader(graphs, batch_size=batch_size, cache=True)
+            # Pin the loader's own member list so the id()s in the key stay
+            # valid for exactly the entry's lifetime.
+            self._entries[key] = (loader.graphs, loader)
+            return loader
 
     def warm(self, graphs, batch_size: int) -> DataLoader:
         """Pre-pay collation *and* segment-plan construction for a split.
@@ -111,16 +122,18 @@ class BatchCacheRegistry:
         """Drop entries whose graph set contains any graph of ``graphs``
         (all entries when ``graphs`` is None).  Call after mutating graphs
         — cached batches snapshot collation-time values."""
-        if graphs is None:
-            keys = list(self._entries)
-        else:
-            stale = {id(g) for g in graphs}
-            keys = [k for k in self._entries if stale.intersection(k[1])]
-        for key in keys:
-            self._dropped_collations += self._entries.pop(key)[1].num_collations
+        with self._lock:
+            if graphs is None:
+                keys = list(self._entries)
+            else:
+                stale = {id(g) for g in graphs}
+                keys = [k for k in self._entries if stale.intersection(k[1])]
+            for key in keys:
+                self._dropped_collations += self._entries.pop(key)[1].num_collations
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
         """Cache-effectiveness counters (entries, hits/misses, collations).
@@ -128,15 +141,16 @@ class BatchCacheRegistry:
         ``collations`` is the monotonic total across the registry's
         lifetime, including work done by since-evicted loaders.
         """
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "collations": self._dropped_collations + sum(
-                loader.num_collations for _, loader in self._entries.values()
-            ),
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "collations": self._dropped_collations + sum(
+                    loader.num_collations for _, loader in self._entries.values()
+                ),
+            }
 
     def __repr__(self) -> str:
         return (f"BatchCacheRegistry(entries={len(self._entries)}, "

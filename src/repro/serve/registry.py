@@ -11,11 +11,22 @@ alive keyed by their spec, evicting least-recently-used entries.
 Specs are frozen dataclasses, so the spec itself is the hash key;
 :func:`spec_key` additionally provides a short stable digest for
 checkpoint file names.
+
+Thread safety
+-------------
+One coarse ``RLock`` guards the model map, pin set and counters, so the
+registry may be shared by concurrent serving workers.  A cache-miss
+``get`` *builds the model under the lock* — deliberately, since two
+workers racing the same spec must not both build (and then serve two
+different model objects for one spec).  The registry is a *leaf* lock in
+the serve stack's documented lock order (see :mod:`repro.serve.service`):
+model construction takes no serve-layer locks.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 __all__ = ["ModelRegistry", "spec_key"]
@@ -59,6 +70,7 @@ class ModelRegistry:
         self._pinned: set = set()
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _build(self, spec, supernet=None):
@@ -79,15 +91,16 @@ class ModelRegistry:
         fine-tuned further, which is exactly what a serving process wants
         to preserve.
         """
-        model = self._models.get(spec)
-        if model is not None:
-            self._models.move_to_end(spec)
-            self.hits += 1
+        with self._lock:
+            model = self._models.get(spec)
+            if model is not None:
+                self._models.move_to_end(spec)
+                self.hits += 1
+                return model
+            self.misses += 1
+            model = self._build(spec, supernet=supernet)
+            self.add(spec, model, pin=False)
             return model
-        self.misses += 1
-        model = self._build(spec, supernet=supernet)
-        self.add(spec, model, pin=False)
-        return model
 
     def add(self, spec, model, pin: bool = True) -> None:
         """Register a model under its spec.
@@ -100,25 +113,27 @@ class ModelRegistry:
         registry above ``capacity``, bounded by the caller's explicit
         ``add`` calls.
         """
-        if spec not in self._models:
-            while len(self._models) >= self.capacity:
-                victim = next(
-                    (k for k in self._models if k not in self._pinned), None)
-                if victim is None:
-                    break  # everything pinned: exceed capacity
-                del self._models[victim]
-        self._models[spec] = model
-        self._models.move_to_end(spec)
-        if pin:
-            self._pinned.add(spec)
+        with self._lock:
+            if spec not in self._models:
+                while len(self._models) >= self.capacity:
+                    victim = next(
+                        (k for k in self._models if k not in self._pinned), None)
+                    if victim is None:
+                        break  # everything pinned: exceed capacity
+                    del self._models[victim]
+            self._models[spec] = model
+            self._models.move_to_end(spec)
+            if pin:
+                self._pinned.add(spec)
 
     def unpin(self, spec) -> bool:
         """Make ``spec``'s model evictable again (inverse of a pinned
         :meth:`add`).  Returns whether the spec was pinned.  The model (if
         any) stays registered; it simply rejoins the LRU order."""
-        was_pinned = spec in self._pinned
-        self._pinned.discard(spec)
-        return was_pinned
+        with self._lock:
+            was_pinned = spec in self._pinned
+            self._pinned.discard(spec)
+            return was_pinned
 
     def remove(self, spec) -> bool:
         """Drop ``spec``'s model *and* its pinned status.
@@ -133,8 +148,9 @@ class ModelRegistry:
         (the service prunes dead models from its response cache on the
         next miss regardless).
         """
-        self._pinned.discard(spec)
-        return self._models.pop(spec, None) is not None
+        with self._lock:
+            self._pinned.discard(spec)
+            return self._models.pop(spec, None) is not None
 
     # ------------------------------------------------------------------
     def load_checkpoint(self, spec, path: str):
@@ -157,39 +173,48 @@ class ModelRegistry:
         self.add(spec, model)
         return model
 
+    # (load_checkpoint builds outside the lock on purpose: the checkpoint
+    # read is slow I/O, and ``add`` re-synchronizes at the end.)
+
     def save_checkpoint(self, spec, path: str) -> str:
         """Persist the registered model for ``spec`` to ``path`` (npz)."""
         from ..nn.serialization import save_checkpoint
 
-        if spec not in self._models:
-            raise KeyError(f"no model registered for spec {spec.describe()!r}")
-        save_checkpoint(self._models[spec].state_dict(),
+        with self._lock:
+            if spec not in self._models:
+                raise KeyError(f"no model registered for spec {spec.describe()!r}")
+            model = self._models[spec]
+        save_checkpoint(model.state_dict(),
                         {"spec": spec.describe(), "key": spec_key(spec)}, path)
         return path
 
     # ------------------------------------------------------------------
     def live_models(self):
         """The currently registered models (LRU order, oldest first)."""
-        return list(self._models.values())
+        with self._lock:
+            return list(self._models.values())
 
     def __contains__(self, spec) -> bool:
-        return spec in self._models
+        with self._lock:
+            return spec in self._models
 
     def __len__(self) -> int:
-        return len(self._models)
+        with self._lock:
+            return len(self._models)
 
     def stats(self) -> dict:
         # ``_pinned`` is a subset of the registered specs by construction:
         # every path that drops a spec (``remove``; eviction skips pinned
         # entries) also clears its pinned status, so the count is exact
         # without re-deriving the intersection.
-        return {
-            "models": len(self._models),
-            "pinned": len(self._pinned),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "models": len(self._models),
+                "pinned": len(self._pinned),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __repr__(self) -> str:
         return (f"ModelRegistry(models={len(self._models)}, "

@@ -24,8 +24,32 @@ Clock semantics
 The router keeps a *simulated* clock: :meth:`~BatchingRouter.tick`
 advances it and fires deadline flushes.  Nothing in the router reads
 wall-clock time, so deadline behaviour is exactly reproducible in tests;
-a deployment maps ticks to real time by calling ``tick()`` from a timer
-(e.g. one tick per millisecond of event-loop idle).
+a deployment maps ticks to real time by calling ``tick()`` from a timer —
+that is precisely what :class:`~repro.serve.server.InferenceServer`'s
+background ticker thread does.
+
+Thread safety and execution modes
+---------------------------------
+All router state (ticket sequence counter, buckets, counters, drain
+window) is guarded by one ``RLock``; in particular **ticket allocation
+and bucket insert are atomic**, so concurrent submitters get unique,
+strictly increasing ``seq`` numbers and :meth:`drain` preserves global
+submission order.  Micro-batch execution runs in one of two modes:
+
+* **inline** (default, ``executor=None``) — the flushing call executes
+  the forward itself, holding no router lock during the service call
+  except for final bookkeeping.  ``submit`` that fills a bucket returns
+  an already-``done`` ticket, exactly as before.
+* **executor** — ``executor`` is a callable receiving a zero-argument
+  job; the router dispatches flushed micro-batches to it and returns
+  without waiting.  :class:`~repro.serve.server.InferenceServer` passes
+  the enqueue side of its worker pool here.  Tickets resolve when a
+  worker runs the job; callers block on :meth:`RoutedRequest.wait`.
+
+Lock order: the router lock is *above* every
+:class:`~repro.serve.service.InferenceService` lock (the flush path calls
+into the service while holding no router lock) — see
+:mod:`repro.serve.service` for the full stack-wide order.
 
 Parity guarantee
 ----------------
@@ -38,7 +62,10 @@ bit-identical to ``service.predict([graph], spec)``.  Note that batching
 micro-batch can differ from its own batch-of-one forward in the last few
 float bits (~1e-15), exactly as ``predict`` on a larger list does.  The
 contract pinned by ``tests/serve/test_router.py`` is therefore stated
-against ``predict`` on the same graphs.
+against ``predict`` on the same graphs; every ticket records its
+micro-batch (:attr:`RoutedRequest.batch_graphs` /
+:attr:`RoutedRequest.batch_index`) so the reference is always
+reconstructible — the concurrency stress tests replay it serially.
 
 Because micro-batches run through the service, they inherit the whole
 cache stack: repeated identical micro-batches (polling traffic) hit the
@@ -49,6 +76,7 @@ exactly as it reaches list requests.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -64,25 +92,54 @@ class RoutedRequest:
     graph, spec:
         The submitted graph and its strategy spec.
     seq:
-        Global submission index — the order :meth:`BatchingRouter.drain`
-        preserves.
+        Global submission index — unique and strictly increasing even
+        under concurrent submitters (allocation happens under the router
+        lock), and the order :meth:`BatchingRouter.drain` preserves.
     submitted_tick:
         Router clock value at submission (deadline flushes fire when
         ``now - submitted_tick >= max_delay``).
+    batch_graphs / batch_index:
+        Set at completion: the tuple of graphs that formed this request's
+        micro-batch and this request's row position in it.  Together they
+        make the parity reference reconstructible after the fact —
+        ``service.predict(list(batch_graphs), spec,
+        batch_size=len(batch_graphs))[batch_index]`` is bit-identical to
+        :meth:`result`.
     """
 
-    __slots__ = ("graph", "spec", "seq", "submitted_tick", "_logits")
+    __slots__ = ("graph", "spec", "seq", "submitted_tick", "batch_graphs",
+                 "batch_index", "_logits", "_error", "_event")
 
     def __init__(self, graph, spec, seq: int, submitted_tick: int):
         self.graph = graph
         self.spec = spec
         self.seq = seq
         self.submitted_tick = submitted_tick
+        self.batch_graphs: tuple | None = None
+        self.batch_index: int | None = None
         self._logits: np.ndarray | None = None
+        self._error: BaseException | None = None
+        self._event = threading.Event()
 
     @property
     def done(self) -> bool:
-        return self._logits is not None
+        """True once the micro-batch executed (successfully or not)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> np.ndarray:
+        """Block until this request's micro-batch has executed.
+
+        Returns the logits row (see :meth:`result`).  Raises
+        ``TimeoutError`` if ``timeout`` seconds elapse first — the ticket
+        stays valid and may be waited on again.  Built on a
+        ``threading.Event``, so any number of threads may wait on one
+        ticket.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request seq={self.seq} still queued after {timeout}s "
+                "(is the router being flushed/ticked, or the server running?)")
+        return self.result()
 
     def result(self) -> np.ndarray:
         """This request's logits row, shape ``(num_tasks,)``.
@@ -90,8 +147,13 @@ class RoutedRequest:
         The row is private to the ticket (sliced and copied at flush), so
         callers may mutate it freely.  Raises while still queued — call
         :meth:`BatchingRouter.flush` / :meth:`BatchingRouter.tick` first,
-        or use :meth:`BatchingRouter.predict_one`.
+        use :meth:`BatchingRouter.predict_one`, or block on :meth:`wait`.
+        If the micro-batch execution failed, re-raises that error.
         """
+        if self._error is not None:
+            raise RuntimeError(
+                f"micro-batch execution failed for request seq={self.seq}"
+            ) from self._error
         if self._logits is None:
             raise RuntimeError(
                 "request is still queued (flush() or tick() the router)")
@@ -133,11 +195,14 @@ class BatchingRouter:
         persistent derived models — no per-spec model build, useful when
         the spec mix is wide.  Requires the service to have a supernet
         attached.
+    executor:
+        Optional callable receiving a zero-argument job per flushed
+        micro-batch (see module docstring).  ``None`` executes inline.
     """
 
     def __init__(self, service, max_batch_size: int = 32, max_delay: int = 4,
                  max_pending: int = 1024, max_undrained: int = 4096,
-                 onehot: bool = False):
+                 onehot: bool = False, executor=None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_delay < 1:
@@ -152,6 +217,8 @@ class BatchingRouter:
         self.max_pending = max_pending
         self.max_undrained = max_undrained
         self.onehot = onehot
+        self.executor = executor
+        self._lock = threading.RLock()
         self._buckets: "OrderedDict[object, list[RoutedRequest]]" = OrderedDict()
         self._completed: list[RoutedRequest] = []
         self._tick = 0
@@ -169,35 +236,49 @@ class BatchingRouter:
     @property
     def pending(self) -> int:
         """Requests queued across all spec buckets."""
-        return sum(len(bucket) for bucket in self._buckets.values())
+        with self._lock:
+            return sum(len(bucket) for bucket in self._buckets.values())
 
     def submit(self, graph, spec) -> RoutedRequest:
         """Enqueue one graph under ``spec``; returns its ticket.
 
-        Flush-on-size fires inline: when this submit fills the spec's
-        bucket, the micro-batch runs immediately and the returned ticket
-        is already ``done``.
+        Ticket allocation (the ``seq`` counter) and the bucket insert are
+        one atomic step under the router lock, so concurrent submitters —
+        including submits racing a reconfiguring service or a mid-flush
+        worker — cannot interleave sequence numbers or lose requests.
+
+        Flush-on-size fires from this call: without an executor the
+        micro-batch runs inline and the returned ticket is already
+        ``done``; with one, the batch is dispatched and the ticket
+        resolves when a worker executes it.
         """
-        request = RoutedRequest(graph, spec, self._seq, self._tick)
-        self._seq += 1
-        self._buckets.setdefault(spec, []).append(request)
-        if len(self._buckets[spec]) >= self.max_batch_size:
-            self._flush_bucket(spec, "size")
-        elif self.pending > self.max_pending:
-            oldest = min(self._buckets, key=lambda s: self._buckets[s][0].seq)
-            self._flush_bucket(oldest, "backpressure")
+        flush_spec = trigger = None
+        with self._lock:
+            request = RoutedRequest(graph, spec, self._seq, self._tick)
+            self._seq += 1
+            bucket = self._buckets.setdefault(spec, [])
+            bucket.append(request)
+            if len(bucket) >= self.max_batch_size:
+                flush_spec, trigger = spec, "size"
+            elif self.pending > self.max_pending:
+                oldest = min(self._buckets, key=lambda s: self._buckets[s][0].seq)
+                flush_spec, trigger = oldest, "backpressure"
+        if flush_spec is not None:
+            self._flush_bucket(flush_spec, trigger)
         return request
 
     def tick(self, ticks: int = 1) -> list[RoutedRequest]:
         """Advance the simulated clock, firing deadline flushes.
 
-        Returns the requests completed by those flushes, in submission
-        order."""
+        Returns the requests flushed by those deadlines, in submission
+        order (inline mode: already ``done``; executor mode: dispatched,
+        resolve via :meth:`RoutedRequest.wait`)."""
         completed: list[RoutedRequest] = []
         for _ in range(ticks):
-            self._tick += 1
-            expired = [spec for spec, bucket in self._buckets.items()
-                       if self._tick - bucket[0].submitted_tick >= self.max_delay]
+            with self._lock:
+                self._tick += 1
+                expired = [spec for spec, bucket in self._buckets.items()
+                           if self._tick - bucket[0].submitted_tick >= self.max_delay]
             for spec in expired:
                 completed.extend(self._flush_bucket(spec, "deadline"))
         return sorted(completed, key=lambda r: r.seq)
@@ -206,14 +287,15 @@ class BatchingRouter:
         """Force pending micro-batches out (one spec, or all of them).
 
         An empty queue (or an unknown/empty spec bucket) is a no-op
-        returning ``[]``.  Returns the completed requests in submission
-        order."""
-        if spec is not None:
-            specs = [spec] if self._buckets.get(spec) else []
-        else:
-            # Oldest-first across buckets, so backlogged traffic is served
-            # in arrival order.
-            specs = sorted(self._buckets, key=lambda s: self._buckets[s][0].seq)
+        returning ``[]``.  Returns the flushed requests in submission
+        order (see :meth:`tick` for executor-mode semantics)."""
+        with self._lock:
+            if spec is not None:
+                specs = [spec] if self._buckets.get(spec) else []
+            else:
+                # Oldest-first across buckets, so backlogged traffic is
+                # served in arrival order.
+                specs = sorted(self._buckets, key=lambda s: self._buckets[s][0].seq)
         completed: list[RoutedRequest] = []
         for s in specs:
             completed.extend(self._flush_bucket(s, "forced"))
@@ -224,11 +306,14 @@ class BatchingRouter:
 
         Each completed request is returned exactly once across successive
         ``drain`` calls — the consumption side of the ticket API for
-        callers that poll instead of holding tickets.  The window is
-        bounded by ``max_undrained``: entries older than that have aged
-        out (ticket holders are unaffected)."""
-        out = sorted(self._completed, key=lambda r: r.seq)
-        self._completed = []
+        callers that poll instead of holding tickets.  Submission order is
+        preserved within a drain (``seq`` is allocated under the router
+        lock, so the order is well-defined even under concurrent
+        submitters).  The window is bounded by ``max_undrained``: entries
+        older than that have aged out (ticket holders are unaffected)."""
+        with self._lock:
+            out = sorted(self._completed, key=lambda r: r.seq)
+            self._completed = []
         return out
 
     def predict_one(self, graph, spec) -> np.ndarray:
@@ -237,52 +322,86 @@ class BatchingRouter:
         Piggy-backs on whatever the spec's bucket already holds — the
         forced flush serves *all* of its pending requests in one forward,
         so interleaving ``predict_one`` with ``submit`` traffic still
-        batches."""
+        batches.  Always waits on the ticket's event (not ``result()``):
+        even in inline mode a concurrent caller may have popped this
+        request's bucket and be mid-forward with it, in which case the
+        forced flush here is a no-op and the event resolves when that
+        execution finishes."""
         request = self.submit(graph, spec)
         if not request.done:
             self._flush_bucket(spec, "forced")
-        return request.result()
+        return request.wait()
 
     # ------------------------------------------------------------------
     def _flush_bucket(self, spec, trigger: str) -> list[RoutedRequest]:
-        bucket = self._buckets.pop(spec, None)
-        if not bucket:
-            return []
-        graphs = [request.graph for request in bucket]
-        # One disjoint-union collation + one forward for the whole
-        # micro-batch: batch_size=len(graphs) makes the shared loader
-        # yield a single batch, and the service's batch/plan/response
-        # caches apply to it like to any list request.
-        if self.onehot:
-            logits = self.service.predict_spec_onehot(graphs, spec,
-                                                      batch_size=len(graphs))
+        """Pop ``spec``'s bucket and execute (or dispatch) its micro-batch.
+
+        The pop and the flush counters are atomic under the router lock;
+        the service call happens with **no router lock held**, so inline
+        execution never blocks concurrent submitters on the forward and an
+        executor's bounded queue cannot deadlock against workers doing
+        completion bookkeeping."""
+        with self._lock:
+            bucket = self._buckets.pop(spec, None)
+            if not bucket:
+                return []
+            self.batches += 1
+            self.flushes[trigger] += 1
+        executor = self.executor  # one read: robust to a concurrent swap
+        if executor is None:
+            self._execute(spec, bucket)
         else:
-            logits = self.service.predict(graphs, spec,
-                                          batch_size=len(graphs))
+            executor(lambda: self._execute(spec, bucket))
+        return bucket
+
+    def _execute(self, spec, bucket: list[RoutedRequest]) -> None:
+        """Run one micro-batch and resolve its tickets (worker-side half).
+
+        One disjoint-union collation + one forward for the whole
+        micro-batch: ``batch_size=len(graphs)`` makes the shared loader
+        yield a single batch, and the service's batch/plan/response caches
+        apply to it like to any list request.  A failed forward resolves
+        every ticket with the error instead of leaving waiters hanging."""
+        graphs = [request.graph for request in bucket]
+        try:
+            if self.onehot:
+                logits = self.service.predict_spec_onehot(graphs, spec,
+                                                          batch_size=len(graphs))
+            else:
+                logits = self.service.predict(graphs, spec,
+                                              batch_size=len(graphs))
+        except BaseException as err:  # resolve waiters, then bookkeeping
+            for request in bucket:
+                request._error = err
+                request._event.set()
+            raise
+        batch_graphs = tuple(graphs)
         for i, request in enumerate(bucket):
             request._logits = np.array(logits[i], copy=True)
-        self.served += len(bucket)
-        self.batches += 1
-        self.flushes[trigger] += 1
-        self._completed.extend(bucket)
-        if len(self._completed) > self.max_undrained:
-            # Bound the drain window: a caller that holds its tickets and
-            # never drains must not make the router retain every served
-            # graph + logits row for the life of the process.
-            del self._completed[:len(self._completed) - self.max_undrained]
-        return bucket
+            request.batch_graphs = batch_graphs
+            request.batch_index = i
+            request._event.set()
+        with self._lock:
+            self.served += len(bucket)
+            self._completed.extend(bucket)
+            if len(self._completed) > self.max_undrained:
+                # Bound the drain window: a caller that holds its tickets
+                # and never drains must not make the router retain every
+                # served graph + logits row for the life of the process.
+                del self._completed[:len(self._completed) - self.max_undrained]
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        return {
-            "pending": self.pending,
-            "served": self.served,
-            "batches": self.batches,
-            "mean_batch_size": (self.served / self.batches
-                                if self.batches else 0.0),
-            "flushes": dict(self.flushes),
-            "tick": self._tick,
-        }
+        with self._lock:
+            return {
+                "pending": sum(len(b) for b in self._buckets.values()),
+                "served": self.served,
+                "batches": self.batches,
+                "mean_batch_size": (self.served / self.batches
+                                    if self.batches else 0.0),
+                "flushes": dict(self.flushes),
+                "tick": self._tick,
+            }
 
     def __repr__(self) -> str:
         return (f"BatchingRouter(pending={self.pending}, served={self.served}, "

@@ -33,10 +33,38 @@ bounded LRU of previous responses without touching the model.  Callers
 that *do* mutate a served model's weights (continued fine-tuning) must
 call :meth:`InferenceService.invalidate_logits` afterwards, mirroring the
 segment-plan layer's immutable-after-collation contract.
+
+Thread safety and lock order
+----------------------------
+The whole serve stack may be shared across threads (that is what
+:class:`~repro.serve.server.InferenceServer`'s worker pool does).  Every
+lock is coarse and the acquisition order is fixed — to stay deadlock-free,
+never acquire a lock *earlier* in this list while holding a later one:
+
+1. :class:`~repro.serve.server.InferenceServer` internals (job queue,
+   lifecycle flag);
+2. ``BatchingRouter._lock`` (buckets, seq counter, drain window) — the
+   flush path calls into the service with **no router lock held**;
+3. ``InferenceService._lock`` (response LRU, counters, default router,
+   per-model lock table) — held only for dict bookkeeping, never across a
+   forward;
+4. per-model execution locks (``_model_lock``) — serialize the train/eval
+   mode flip around each eval sweep, so one model serves one request at a
+   time while *different* models run fully in parallel;
+5. leaf locks: :class:`~repro.serve.registry.ModelRegistry`,
+   :class:`~repro.serve.cache.BatchCacheRegistry`,
+   ``DataLoader``/``Batch`` lazy-build locks.
+
+Eval-mode forwards mutate nothing (no autograd state under ``no_grad``,
+no BatchNorm buffer updates in eval), and grad/backend flags are
+context-local (:mod:`repro.nn.tensor` / :mod:`repro.nn.segment`), so the
+only per-model critical section is the mode flip in ``_eval_logits``.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -125,6 +153,16 @@ class InferenceService:
         self.logit_hits = 0
         self.logit_misses = 0
         self._default_router = None
+        # Service lock (level 3 in the documented order): response LRU,
+        # counters, default-router slot, model-lock table.  Never held
+        # across a forward.
+        self._lock = threading.RLock()
+        # Per-model execution locks (level 4), keyed weakly by the model
+        # itself: a lock lives exactly as long as its model, so an entry
+        # can never be pruned out from under a thread that is mid-forward
+        # (that thread's reference keeps the model — and thus the shared
+        # lock — alive), and evicted models leak nothing.
+        self._model_locks: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     @classmethod
     def from_tuner(cls, tuner, batch_size: int = 64) -> "InferenceService":
@@ -163,26 +201,43 @@ class InferenceService:
         self.batch_cache.warm(graphs, batch_size or self.batch_size)
 
     # ------------------------------------------------------------------
+    def _model_lock(self, model) -> threading.RLock:
+        """The per-model execution lock (created on first use)."""
+        with self._lock:
+            lock = self._model_locks.get(model)
+            if lock is None:
+                lock = self._model_locks[model] = threading.RLock()
+            return lock
+
     def _memoized(self, model, spec, graphs, batch_size, compute) -> np.ndarray:
         """Serve ``compute()``'s logits through the response LRU.
 
         Hits return a copy (callers may mutate their response); the
-        stored array is private to the cache.
+        stored array is private to the cache.  The service lock guards
+        only the LRU bookkeeping — ``compute()`` runs outside it, under
+        the model's own execution lock, so a long forward on one model
+        never blocks cache hits (or other models' forwards).  Two threads
+        missing on the same key both compute; the results are bit-identical
+        by the serving-parity contract, so the duplicate insert is benign.
         """
         if self.logit_cache_size <= 0:
-            return compute()
+            with self._model_lock(model):
+                return compute()
         key = (model, spec, batch_size, tuple(id(g) for g in graphs))
-        entry = self._logit_cache.get(key)
-        if entry is not None:
-            self._logit_cache.move_to_end(key)
-            self.logit_hits += 1
-            return entry[1].copy()
-        self.logit_misses += 1
-        logits = compute()
-        self._prune_dead_models()
-        while len(self._logit_cache) >= self.logit_cache_size:
-            self._logit_cache.popitem(last=False)
-        self._logit_cache[key] = (list(graphs), logits.copy())
+        with self._lock:
+            entry = self._logit_cache.get(key)
+            if entry is not None:
+                self._logit_cache.move_to_end(key)
+                self.logit_hits += 1
+                return entry[1].copy()
+            self.logit_misses += 1
+        with self._model_lock(model):
+            logits = compute()
+        with self._lock:
+            self._prune_dead_models()
+            while len(self._logit_cache) >= self.logit_cache_size:
+                self._logit_cache.popitem(last=False)
+            self._logit_cache[key] = (list(graphs), logits.copy())
         return logits
 
     def _prune_dead_models(self) -> None:
@@ -191,6 +246,8 @@ class InferenceService:
         Memoization keys pin their model; without this, a model evicted
         from the :class:`ModelRegistry` (or a detached supernet) would
         stay alive until its entries churned out of the response LRU.
+        (Execution locks need no pruning: the weak-keyed table drops a
+        lock with its model.)  Callers hold ``self._lock``.
         """
         live = {id(m) for m in self.models.live_models()}
         live.add(id(self.supernet))
@@ -200,7 +257,8 @@ class InferenceService:
     def invalidate_logits(self) -> None:
         """Drop memoized responses — required after mutating the weights
         of any model this service serves."""
-        self._logit_cache.clear()
+        with self._lock:
+            self._logit_cache.clear()
 
     def predict(self, graphs, spec, batch_size: int | None = None) -> np.ndarray:
         """Logits for ``graphs`` under ``spec`` from the persistent model.
@@ -283,28 +341,49 @@ class InferenceService:
         arguments are the router's (``max_batch_size``, ``max_delay``,
         ``max_pending``, ``max_undrained``, ``onehot``).
 
-        Replacing an existing default router first flushes its pending
-        requests — reconfiguring must not orphan queued tickets in an
-        unreachable router, where they would never resolve."""
+        Replacing an existing default router flushes the replaced router's
+        pending requests — reconfiguring must not orphan queued tickets in
+        an unreachable router, where they would never resolve.  The flush
+        happens *after* the swap and outside the service lock (router
+        locks are above service locks in the documented order), so
+        concurrent submitters either land in the old router and get
+        flushed here, or in the new one."""
         from .router import BatchingRouter
 
-        if self._default_router is not None:
-            self._default_router.flush()
-        self._default_router = BatchingRouter(self, **kwargs)
-        return self._default_router
+        new = BatchingRouter(self, **kwargs)
+        with self._lock:
+            old, self._default_router = self._default_router, new
+        if old is not None:
+            old.flush()
+        return new
 
     @property
     def default_router(self):
         """The router behind the single-graph facade (created on first
         use with default parameters; configure via :meth:`router`)."""
-        if self._default_router is None:
-            self.router()
-        return self._default_router
+        with self._lock:
+            if self._default_router is None:
+                from .router import BatchingRouter
+
+                self._default_router = BatchingRouter(self)
+            return self._default_router
 
     def submit(self, graph, spec):
         """Enqueue one graph for dynamic batching; returns its
-        :class:`~repro.serve.router.RoutedRequest` ticket."""
-        return self.default_router.submit(graph, spec)
+        :class:`~repro.serve.router.RoutedRequest` ticket.
+
+        Safe against a concurrent :meth:`router` reconfigure: if this
+        submit lands on a router that was replaced mid-call (so the
+        replacement's clean-up flush may have already run), the ticket is
+        flushed out of the retired router here instead of orphaning."""
+        router = self.default_router
+        ticket = router.submit(graph, spec)
+        if not ticket.done:
+            with self._lock:
+                retired = router is not self._default_router
+            if retired:
+                router.flush(spec)
+        return ticket
 
     def flush(self, spec=None):
         """Force the default router's pending micro-batches out."""
@@ -324,18 +403,21 @@ class InferenceService:
     def stats(self) -> dict:
         """Combined registry + batch-cache + response-cache counters
         (plus the default router's, once one exists)."""
-        stats = {
-            "models": self.models.stats(),
-            "batches": self.batch_cache.stats(),
-            "logits": {
+        with self._lock:
+            logits = {
                 "entries": len(self._logit_cache),
                 "capacity": self.logit_cache_size,
                 "hits": self.logit_hits,
                 "misses": self.logit_misses,
-            },
+            }
+            router = self._default_router
+        stats = {
+            "models": self.models.stats(),
+            "batches": self.batch_cache.stats(),
+            "logits": logits,
         }
-        if self._default_router is not None:
-            stats["router"] = self._default_router.stats()
+        if router is not None:
+            stats["router"] = router.stats()
         return stats
 
     def __repr__(self) -> str:

@@ -1,0 +1,393 @@
+"""Transports for the concurrent serving runtime: in-process + stdlib HTTP.
+
+A transport turns the :class:`~repro.serve.server.InferenceServer` object
+API into a wire protocol.  Both transports here speak the **same JSON
+dict protocol** through one shared :class:`ServingProtocol` core, so the
+in-process transport is a faithful stand-in for the HTTP one in tests
+(same serialization, same error paths, no sockets):
+
+* ``predict``  — ``{"graph": G, "spec": S[, "timeout_s": t]}`` ->
+  ``{"logits": [...], "seq": n, "batch_size": k}`` (blocks until the
+  micro-batch executes; the deadline ticker bounds the wait);
+* ``submit``   — same request -> ``{"seq": n}`` immediately; poll
+  ``result`` with ``{"seq": n[, "timeout_s": t]}`` ->
+  ``{"logits": ...}`` or ``{"pending": true}``.  A delivered result is a
+  **one-shot claim** (like the router's ``drain``): the ticket leaves the
+  window once its logits have been handed over;
+* ``stats``    — ``{}`` -> the server's full stats tree.
+
+Graphs go over the wire as ``{"x": [[...]], "edge_index": [[...]],
+"edge_attr": [[...]], "y": [...]|null}`` (the struct-of-arrays layout of
+:class:`~repro.graph.graph.Graph`); specs as ``{"identity": [...],
+"fusion": ..., "readout": ..., "conv": ...}``.
+
+The HTTP transport is a deliberately minimal stdlib ``http.server``
+deployment surface — ``ThreadingHTTPServer`` gives one thread per
+connection, so a blocking ``/predict`` holds only its own connection
+while the server's worker pool does the real work.  POST
+``/submit | /predict``, POST-or-GET ``/stats``, POST ``/result``; errors
+come back as ``{"error": msg}`` with a 4xx/5xx status.  Binds to
+loopback by default; it does no auth — put a real ingress in front of it
+before exposing it beyond localhost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+__all__ = [
+    "ServingProtocol",
+    "InProcessTransport",
+    "HTTPServingTransport",
+    "HTTPServingClient",
+    "graph_to_payload",
+    "graph_from_payload",
+    "spec_to_payload",
+    "spec_from_payload",
+]
+
+
+# ----------------------------------------------------------------------
+# payload <-> object codecs
+# ----------------------------------------------------------------------
+def graph_to_payload(graph) -> dict:
+    """JSON-safe dict for one :class:`~repro.graph.graph.Graph`."""
+    return {
+        "x": graph.x.tolist(),
+        "edge_index": graph.edge_index.tolist(),
+        "edge_attr": graph.edge_attr.tolist(),
+        "y": None if graph.y is None else graph.y.tolist(),
+    }
+
+
+def graph_from_payload(payload: dict):
+    """Inverse of :func:`graph_to_payload` (validates via ``Graph``)."""
+    from ..graph.graph import Graph
+
+    return Graph(
+        x=np.asarray(payload["x"], dtype=np.int64).reshape(-1, 2),
+        edge_index=np.asarray(payload["edge_index"], dtype=np.int64).reshape(2, -1),
+        edge_attr=np.asarray(payload["edge_attr"], dtype=np.int64).reshape(-1, 2),
+        y=payload.get("y"),
+    )
+
+
+def spec_to_payload(spec) -> dict:
+    """JSON-safe dict for one :class:`FineTuneStrategySpec`."""
+    return {"identity": list(spec.identity), "fusion": spec.fusion,
+            "readout": spec.readout, "conv": spec.conv}
+
+
+def spec_from_payload(payload: dict):
+    """Inverse of :func:`spec_to_payload`."""
+    from ..core.space import FineTuneStrategySpec
+
+    return FineTuneStrategySpec(
+        identity=tuple(payload["identity"]), fusion=payload["fusion"],
+        readout=payload["readout"], conv=payload.get("conv", "pre_trained"))
+
+
+def _json_safe(value):
+    """Recursively convert numpy scalars/arrays for ``json.dumps``."""
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+class TransportError(ValueError):
+    """Malformed or unanswerable request (maps to HTTP 4xx)."""
+
+
+# ----------------------------------------------------------------------
+# shared protocol core
+# ----------------------------------------------------------------------
+class ServingProtocol:
+    """Dict-in / dict-out request handlers shared by every transport.
+
+    Holds a bounded window of submitted tickets so ``submit``/``result``
+    can speak sequence numbers instead of object references across a
+    wire.  Resolved tickets age out of the window once it overflows
+    (``ticket_window``), oldest first — exactly like the router's drain
+    window, unresolved tickets are never dropped.
+    """
+
+    def __init__(self, server, ticket_window: int = 4096):
+        if ticket_window < 1:
+            raise ValueError("ticket_window must be >= 1")
+        self.server = server
+        self.ticket_window = ticket_window
+        self._tickets: "OrderedDict[int, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- request decoding ------------------------------------------------
+    @staticmethod
+    def _decode(payload: dict):
+        try:
+            graph = graph_from_payload(payload["graph"])
+            spec = spec_from_payload(payload["spec"])
+        except (KeyError, TypeError, ValueError) as err:
+            raise TransportError(f"malformed request: {err}") from err
+        return graph, spec
+
+    def _remember(self, ticket) -> None:
+        with self._lock:
+            self._tickets[ticket.seq] = ticket
+            if len(self._tickets) > self.ticket_window:
+                # Age out *resolved* tickets oldest-first; pending tickets
+                # are never dropped (their result must stay claimable).
+                done = [s for s, t in self._tickets.items() if t.done]
+                for seq in done[:len(self._tickets) - self.ticket_window]:
+                    del self._tickets[seq]
+
+    # -- handlers --------------------------------------------------------
+    def handle_predict(self, payload: dict) -> dict:
+        graph, spec = self._decode(payload)
+        timeout = payload.get("timeout_s")
+        ticket = self.server.request(graph, spec, timeout=timeout)
+        return {"logits": ticket.result().tolist(), "seq": ticket.seq,
+                "batch_size": len(ticket.batch_graphs)}
+
+    def handle_submit(self, payload: dict) -> dict:
+        graph, spec = self._decode(payload)
+        ticket = self.server.submit(graph, spec)
+        self._remember(ticket)
+        return {"seq": ticket.seq}
+
+    def handle_result(self, payload: dict) -> dict:
+        try:
+            seq = int(payload["seq"])
+        except (KeyError, TypeError, ValueError) as err:
+            raise TransportError("result needs an integer 'seq'") from err
+        with self._lock:
+            ticket = self._tickets.get(seq)
+        if ticket is None:
+            raise TransportError(f"unknown or expired seq {seq}")
+        timeout = payload.get("timeout_s", 0.0)
+        if not ticket.done and timeout:
+            try:
+                ticket.wait(float(timeout))
+            except TimeoutError:
+                pass
+        if not ticket.done:
+            return {"seq": seq, "pending": True}
+        logits = ticket.result()  # re-raises a failed micro-batch
+        with self._lock:  # one-shot claim: delivered tickets leave the window
+            self._tickets.pop(seq, None)
+        return {"seq": seq, "logits": logits.tolist(),
+                "batch_size": len(ticket.batch_graphs)}
+
+    def handle_stats(self, payload: dict) -> dict:
+        return _json_safe(self.server.stats())
+
+    HANDLERS = {"predict": handle_predict, "submit": handle_submit,
+                "result": handle_result, "stats": handle_stats}
+
+    def handle(self, op: str, payload: dict) -> dict:
+        handler = self.HANDLERS.get(op)
+        if handler is None:
+            raise TransportError(f"unknown operation {op!r}")
+        return handler(self, payload or {})
+
+
+class InProcessTransport:
+    """The dict protocol without sockets — same codecs, same errors.
+
+    Useful as an embedded API for callers that already hold the graphs
+    (and as the deterministic test double for the HTTP transport)."""
+
+    def __init__(self, server, ticket_window: int = 4096):
+        self.protocol = ServingProtocol(server, ticket_window=ticket_window)
+
+    def request(self, op: str, payload: dict | None = None) -> dict:
+        return self.protocol.handle(op, payload or {})
+
+    # convenience mirrors of the client API
+    def predict(self, graph, spec, timeout_s: float | None = None) -> np.ndarray:
+        payload = {"graph": graph_to_payload(graph), "spec": spec_to_payload(spec)}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return np.asarray(self.request("predict", payload)["logits"])
+
+    def submit(self, graph, spec) -> int:
+        return self.request("submit", {"graph": graph_to_payload(graph),
+                                       "spec": spec_to_payload(spec)})["seq"]
+
+    def result(self, seq: int, timeout_s: float = 0.0) -> dict:
+        return self.request("result", {"seq": seq, "timeout_s": timeout_s})
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+
+# ----------------------------------------------------------------------
+# stdlib HTTP transport
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # set by HTTPServingTransport on the server object
+    def _core(self) -> ServingProtocol:
+        return self.server.serving_protocol  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, op: str, payload: dict) -> None:
+        try:
+            self._reply(200, self._core().handle(op, payload))
+        except TransportError as err:
+            self._reply(400, {"error": str(err)})
+        except TimeoutError as err:
+            self._reply(504, {"error": str(err)})
+        except Exception as err:  # noqa: BLE001 - wire boundary
+            self._reply(500, {"error": f"{type(err).__name__}: {err}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        op = self.path.strip("/")
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, TypeError) as err:
+            self._reply(400, {"error": f"bad JSON body: {err}"})
+            return
+        self._dispatch(op, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.strip("/") == "stats":
+            self._dispatch("stats", {})
+        else:
+            self._reply(404, {"error": "GET supports /stats only"})
+
+    def log_message(self, fmt, *args):  # quiet by default
+        pass
+
+
+class HTTPServingTransport:
+    """Minimal stdlib HTTP/JSON front end for an :class:`InferenceServer`.
+
+    ``ThreadingHTTPServer`` spawns one thread per connection; handler
+    threads block in ``predict``/``result`` waits while the server's
+    worker pool executes micro-batches.  Binds loopback on an ephemeral
+    port by default (``port=0``); read :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0,
+                 ticket_window: int = 4096):
+        self.serving_server = server
+        self.protocol = ServingProtocol(server, ticket_window=ticket_window)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.serving_protocol = self.protocol  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HTTPServingTransport":
+        if self._thread is not None:
+            raise RuntimeError("transport already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self) -> None:
+        """Serve on the caller's thread until interrupted (CLI mode)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "HTTPServingTransport":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+
+class HTTPServingClient:
+    """Tiny urllib client for :class:`HTTPServingTransport` (demo/tests).
+
+    The socket ``timeout_s`` defaults comfortably *above* the server's
+    default 60 s predict wait, so a slow micro-batch surfaces as the
+    server's own 504 rather than a client-side socket drop mid-compute.
+    """
+
+    def __init__(self, url: str, timeout_s: float = 90.0):
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _post(self, op: str, payload: dict) -> dict:
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{self.url}/{op}", data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"}, method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            body = err.read()
+            try:
+                message = json.loads(body).get("error", body.decode())
+            except Exception:  # noqa: BLE001 - diagnostic path
+                message = body.decode(errors="replace")
+            raise RuntimeError(f"{op} failed ({err.code}): {message}") from err
+        except urllib.error.URLError as err:
+            raise RuntimeError(
+                f"{op} failed: no response from {self.url} within "
+                f"{self.timeout_s}s ({err.reason})") from err
+
+    def predict(self, graph, spec, timeout_s: float | None = None) -> np.ndarray:
+        payload = {"graph": graph_to_payload(graph), "spec": spec_to_payload(spec)}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return np.asarray(self._post("predict", payload)["logits"])
+
+    def submit(self, graph, spec) -> int:
+        return self._post("submit", {"graph": graph_to_payload(graph),
+                                     "spec": spec_to_payload(spec)})["seq"]
+
+    def result(self, seq: int, timeout_s: float = 0.0) -> dict:
+        return self._post("result", {"seq": seq, "timeout_s": timeout_s})
+
+    def stats(self) -> dict:
+        return self._post("stats", {})
