@@ -91,12 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=sorted(_TABLES) + ["space", "score", "serve", "route",
-                                   "serve-forever"],
+                                   "serve-forever", "lint"],
         help="paper table to regenerate, 'space' (Remark 3 numbers), "
              "'score' (many-spec serving fan-out), 'serve' "
              "(score + repeated-request throughput), 'route' "
-             "(dynamic-batching single-request router demo) or "
-             "'serve-forever' (concurrent HTTP serving runtime)",
+             "(dynamic-batching single-request router demo), "
+             "'serve-forever' (concurrent HTTP serving runtime) or "
+             "'lint' (static invariant analysis over src/repro)",
     )
     parser.add_argument(
         "--tier", choices=["smoke", "bench"], default="bench",
@@ -161,7 +162,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--self-test", type=int, default=0, metavar="N",
         help="send N loopback requests through the HTTP client, print "
              "stats and exit (deployment smoke test)")
+    lint = parser.add_argument_group("lint options")
+    lint.add_argument(
+        "--path", default=None,
+        help="directory to lint (default: the installed repro package)")
+    lint.add_argument(
+        "--rules", nargs="*", default=None, metavar="REPxxx",
+        help="run only these rule ids (default: all registered rules)")
+    lint.add_argument(
+        "--baseline", default=None,
+        help="JSON baseline of accepted findings (default: none — the "
+             "shipped gate requires zero findings)")
+    lint.add_argument(
+        "--locks", action="store_true",
+        help="print the machine-readable lock-hierarchy table and exit")
     return parser
+
+
+def _run_lint(args) -> int:
+    """``lint``: run the devtools invariant rules; exit 1 on findings."""
+    import os
+
+    from .devtools import render_lock_table, run_lint
+
+    if args.locks:
+        print(render_lock_table())
+        return 0
+    root = args.path or os.path.dirname(os.path.abspath(__file__))
+    return run_lint(root, rule_ids=args.rules, baseline_path=args.baseline)
 
 
 def _serving_context(args):
@@ -371,6 +399,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target == "serve-forever":
         return _run_server(args)
+
+    if args.target == "lint":
+        return _run_lint(args)
 
     scale = configs.SMOKE_SCALE if args.tier == "smoke" else configs.BENCH_SCALE
     run, render = _TABLES[args.target]

@@ -1,0 +1,101 @@
+"""Finding records, pragma suppression, and baseline handling.
+
+A :class:`Finding` is one rule violation at one source line.  Findings
+are suppressed either by an inline pragma on the offending line::
+
+    something_suspicious()  # repro: disable=REP002
+    another_thing()         # repro: disable=REP001, REP003
+    escape_hatch()          # repro: disable=all
+
+or by a JSON baseline file listing known pre-existing findings (a list
+of ``{"file": ..., "line": ..., "rule_id": ...}`` objects).  The repo
+ships an *empty* baseline — the lint gate requires zero findings — but
+the mechanism exists so a future rule can land before its last fixes do.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+__all__ = ["Finding", "parse_pragmas", "filter_findings", "load_baseline"]
+
+
+#: ``# repro: disable=REP001`` / ``disable=REP001, REP002`` / ``disable=all``
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*disable=((?:REP\d+|all)(?:\s*,\s*(?:REP\d+|all))*)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: ``file:line  RULE  message``."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id}: {self.message}"
+
+    def baseline_key(self) -> tuple:
+        # Messages may carry volatile detail (ranks, names); the baseline
+        # matches on location + rule only.
+        return (self.file, self.line, self.rule_id)
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map line number (1-based) -> rule ids disabled on that line.
+
+    The sentinel id ``"all"`` disables every rule on the line.
+    """
+    disabled: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            ids = frozenset(part.strip() for part in match.group(1).split(","))
+            disabled[lineno] = ids
+    return disabled
+
+
+def is_disabled(disabled: dict[int, frozenset[str]], line: int,
+                rule_id: str) -> bool:
+    ids = disabled.get(line)
+    return ids is not None and (rule_id in ids or "all" in ids)
+
+
+def filter_findings(findings, disabled_by_file: dict[str, dict[int, frozenset[str]]],
+                    baseline: set[tuple] | None = None) -> list[Finding]:
+    """Drop pragma-suppressed and baselined findings; sort the rest."""
+    baseline = baseline or set()
+    kept = []
+    for finding in findings:
+        disabled = disabled_by_file.get(finding.file, {})
+        if is_disabled(disabled, finding.line, finding.rule_id):
+            continue
+        if finding.baseline_key() in baseline:
+            continue
+        kept.append(finding)
+    return sorted(kept)
+
+
+def load_baseline(path) -> set[tuple]:
+    """Load a JSON baseline file into a set of baseline keys.
+
+    Returns the empty set for a missing path, so "no baseline" and
+    "empty baseline" are the same strictest configuration.
+    """
+    if path is None:
+        return set()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            entries = json.load(handle)
+    except FileNotFoundError:
+        return set()
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} must be a JSON list")
+    keys = set()
+    for entry in entries:
+        keys.add((entry["file"], int(entry["line"]), entry["rule_id"]))
+    return keys

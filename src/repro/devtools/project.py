@@ -1,0 +1,80 @@
+"""Project loading: parse every module under a root into AST + metadata.
+
+Rules operate on :class:`ModuleInfo` objects — path, dotted module name,
+source text, parsed tree, and the per-line pragma map — so each file is
+read and parsed exactly once per lint run regardless of how many rules
+inspect it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from .findings import parse_pragmas
+
+__all__ = ["ModuleInfo", "Project"]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str            # absolute filesystem path
+    rel: str             # path relative to the project root, '/'-separated
+    module: str          # dotted module name rooted at the package
+    source: str
+    tree: ast.Module
+    disabled: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+@dataclass
+class Project:
+    """All parsed modules under one root directory."""
+
+    root: str
+    package: str
+    modules: list[ModuleInfo]
+
+    @classmethod
+    def load(cls, root: str, package: str | None = None) -> "Project":
+        """Parse every ``.py`` file under ``root`` (sorted, deterministic).
+
+        ``package`` is the dotted prefix for module names; it defaults to
+        the basename of ``root`` (so loading ``src/repro`` yields modules
+        named ``repro.serve.service`` etc.).
+        """
+        root = os.path.abspath(root)
+        if package is None:
+            package = os.path.basename(root.rstrip(os.sep))
+        modules: list[ModuleInfo] = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__" and not d.startswith("."))
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                parts = rel[:-3].split("/")  # strip .py
+                if parts[-1] == "__init__":
+                    parts = parts[:-1]
+                module = ".".join([package] + parts) if parts else package
+                modules.append(ModuleInfo(
+                    path=path, rel=rel, module=module, source=source,
+                    tree=ast.parse(source, filename=path),
+                    disabled=parse_pragmas(source)))
+        return cls(root=root, package=package, modules=modules)
+
+    def get(self, rel: str) -> ModuleInfo | None:
+        for info in self.modules:
+            if info.rel == rel:
+                return info
+        return None

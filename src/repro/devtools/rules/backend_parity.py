@@ -1,0 +1,139 @@
+"""REP005: two-backend parity for the public segment kernels.
+
+The fast plan-backed ops in :mod:`repro.nn.segment` and the legacy
+``np.add.at`` reference ops in :mod:`repro.nn.tensor` are a contract
+pair: every public segment op must dispatch to the legacy backend under
+``use_backend("legacy")`` (so the tier-2 differential suite can compare
+them), and must actually be exercised by the differential/gradcheck
+suites.  ``np.add.at`` / ``np.maximum.at`` — the slow scatters the fast
+backend exists to replace — are banned outside the legacy reference
+module and the ``scatter_add`` fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from ..findings import Finding
+from ..registry import rule
+
+
+def _declared_all(tree: ast.Module) -> list:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        return [e.value for e in node.value.elts
+                                if isinstance(e, ast.Constant)
+                                and isinstance(e.value, str)]
+    return []
+
+
+def _module_functions(tree: ast.Module) -> dict:
+    return {node.name: node for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def _contains_constant(node, value) -> bool:
+    return any(isinstance(sub, ast.Constant) and sub.value == value
+               for sub in ast.walk(node))
+
+
+def _enclosing_function(tree: ast.Module, target) -> str | None:
+    """Name of the module-level function lexically containing ``target``."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(sub is target for sub in ast.walk(node)):
+                return node.name
+    return None
+
+
+def _ufunc_at_calls(tree: ast.Module):
+    """Yield ``np.add.at`` / ``np.maximum.at`` Call nodes."""
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "at"):
+            continue
+        inner = node.func.value
+        if (isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == "np"
+                and inner.attr in ("add", "maximum")):
+            yield node, f"np.{inner.attr}.at"
+
+
+@rule("REP005", "public segment ops must exist in both backends, be "
+                "suite-covered, and keep ufunc.at scatters out of hot paths")
+def check_backend_parity(project, config):
+    findings: list = []
+    fast = project.get(config.parity_fast_module)
+    reference = project.get(config.parity_reference_module)
+
+    if fast is not None:
+        fast_functions = _module_functions(fast.tree)
+        reference_functions = (_module_functions(reference.tree)
+                               if reference is not None else {})
+        public = _declared_all(fast.tree)
+        ops = [name for name in public
+               if name.startswith("segment_")
+               or name in ("gather_segments", "scatter_add")]
+
+        # Which suite files exist?  (Fixture projects have none — skip.)
+        repo_root = os.path.dirname(os.path.dirname(project.root))
+        suites = []
+        for rel in config.parity_suite_files:
+            path = os.path.join(repo_root, rel)
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    suites.append((rel, handle.read()))
+
+        for name in ops:
+            node = fast_functions.get(name)
+            if node is None:
+                findings.append(Finding(
+                    fast.rel, 1, "REP005",
+                    f"public op '{name}' in __all__ has no module-level "
+                    "definition"))
+                continue
+            if not _contains_constant(node, "legacy"):
+                findings.append(Finding(
+                    fast.rel, node.lineno, "REP005",
+                    f"op '{name}' has no legacy-backend dispatch — it "
+                    "would silently ignore use_backend(\"legacy\") and "
+                    "escape differential testing"))
+            if suites and not any(name in text for _, text in suites):
+                findings.append(Finding(
+                    fast.rel, node.lineno, "REP005",
+                    f"op '{name}' is referenced by none of the "
+                    "differential/gradcheck suite files"))
+
+        # Every `_tensor.X(...)` dispatch must hit a real reference impl.
+        for node in ast.walk(fast.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "_tensor"):
+                if node.func.attr not in reference_functions:
+                    findings.append(Finding(
+                        fast.rel, node.lineno, "REP005",
+                        f"legacy dispatch targets _tensor.{node.func.attr} "
+                        "which does not exist in the reference module"))
+
+    # ufunc.at ban: reference module free-for-all, fast module only inside
+    # the scatter_add fallback, everywhere else banned.
+    for info in project.modules:
+        if info.rel == config.parity_reference_module:
+            continue
+        for call, label in _ufunc_at_calls(info.tree):
+            if info.rel == config.parity_fast_module:
+                if _enclosing_function(info.tree, call) in (
+                        config.parity_scatter_functions or ("scatter_add",)):
+                    continue
+            findings.append(Finding(
+                info.rel, call.lineno, "REP005",
+                f"{label} scatter outside the legacy reference ops and "
+                "scatter_add — use the plan-backed segment kernels"))
+    return findings

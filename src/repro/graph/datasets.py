@@ -16,6 +16,7 @@ all experiment configs run scaled-down sizes on CPU.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -149,6 +150,14 @@ def _synthesize_labels(info: DatasetInfo, graphs: list[Graph]) -> None:
         graph.y = labels[i]
 
 
+#: Process-wide dataset cache.  Concurrent loaders (serving workers,
+#: parallel experiment threads) share it, so lookups and inserts go
+#: through ``_dataset_cache_lock`` (a leaf in the documented lock order —
+#: see ``repro.devtools.locks``).  Generation runs outside the lock: two
+#: racing builders of the same key produce identical datasets (generation
+#: is seed-deterministic), so the duplicate insert is benign and a slow
+#: generation never blocks unrelated cache hits.
+_dataset_cache_lock = threading.Lock()
 _DATASET_CACHE: dict[tuple, MolecularDataset] = {}
 
 
@@ -187,14 +196,19 @@ def load_dataset(name: str, size: int | None = None, num_tasks: int | None = Non
     )
     size = size if size is not None else info.paper_size
     cache_key = (info.name, size, info.num_tasks, info.seed)
-    if cache_key in _DATASET_CACHE:
-        return _DATASET_CACHE[cache_key]
+    with _dataset_cache_lock:
+        cached = _DATASET_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
 
     generator = MoleculeGenerator(num_scaffolds=max(12, size // 25), seed=info.seed)
     graphs = generator.generate_many(size)
     _synthesize_labels(info, graphs)
     dataset = MolecularDataset(info, graphs)
-    _DATASET_CACHE[cache_key] = dataset
+    with _dataset_cache_lock:
+        # Keep the first insert: racing builders made identical datasets,
+        # but callers comparing graph identity deserve one canonical copy.
+        dataset = _DATASET_CACHE.setdefault(cache_key, dataset)
     return dataset
 
 

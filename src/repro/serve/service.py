@@ -39,21 +39,33 @@ Thread safety and lock order
 The whole serve stack may be shared across threads (that is what
 :class:`~repro.serve.server.InferenceServer`'s worker pool does).  Every
 lock is coarse and the acquisition order is fixed — to stay deadlock-free,
-never acquire a lock *earlier* in this list while holding a later one:
+never acquire a lock *earlier* in this list while holding a later one.
 
-1. :class:`~repro.serve.server.InferenceServer` internals (job queue,
-   lifecycle flag);
-2. ``BatchingRouter._lock`` (buckets, seq counter, drain window) — the
-   flush path calls into the service with **no router lock held**;
-3. ``InferenceService._lock`` (response LRU, counters, default router,
-   per-model lock table) — held only for dict bookkeeping, never across a
-   forward;
-4. per-model execution locks (``_model_lock``) — serialize the train/eval
-   mode flip around each eval sweep, so one model serves one request at a
-   time while *different* models run fully in parallel;
-5. leaf locks: :class:`~repro.serve.registry.ModelRegistry`,
-   :class:`~repro.serve.cache.BatchCacheRegistry`,
-   ``DataLoader``/``Batch`` lazy-build locks.
+This section is generated from the machine-readable table in
+:data:`repro.devtools.locks.LOCK_HIERARCHY` — the single source of
+truth, consumed by the static lock-order rule (``python -m repro lint``,
+REP001), the REP006 lock census, and the runtime
+:class:`~repro.devtools.runtime.LockOrderGuard`.  A tier-1 test keeps
+this prose and the table in sync; edit the table first.
+
+1. ``InferenceServer._lock`` (rank 10) — server lifecycle flags, worker
+   bookkeeping, error list;
+2. ``BatchingRouter._lock`` (rank 20) — buckets, seq counter, drain
+   window; the flush path calls into the service with **no router lock
+   held**;
+3. ``InferenceService._lock`` (rank 30) — response LRU, counters,
+   default-router slot, model-lock table — held only for dict
+   bookkeeping, never across a forward;
+4. per-model execution locks — ``InferenceService._model_locks`` via
+   ``_model_lock(model)`` (rank 40) — serialize the train/eval mode flip
+   around each eval sweep, so one model serves one request at a time
+   while *different* models run fully in parallel;
+5. leaf locks (nothing serve-layer is acquired while one is held):
+   ``ModelRegistry._lock`` (rank 50), ``BatchCacheRegistry._lock``
+   (rank 51), ``DataLoader._cache_lock`` (rank 52), ``Batch._plan_lock``
+   (rank 53), ``graph.datasets._dataset_cache_lock`` (rank 54),
+   ``nn.segment._scatter_plan_lock`` (rank 55) and
+   ``ServingProtocol._lock`` (rank 56).
 
 Eval-mode forwards mutate nothing (no autograd state under ``no_grad``,
 no BatchNorm buffer updates in eval), and grad/backend flags are

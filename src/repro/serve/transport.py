@@ -257,7 +257,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, {"error": str(err)})
         except TimeoutError as err:
             self._reply(504, {"error": str(err)})
-        except Exception as err:  # noqa: BLE001 - wire boundary
+        except BaseException as err:
+            # Wire boundary: protocol-level failures become a 500 so one
+            # bad request cannot kill the handler thread.  Everything
+            # outside Exception (KeyboardInterrupt, SystemExit) must keep
+            # propagating — swallowing those would turn Ctrl-C into an
+            # opaque 500 and keep a dying process serving.
+            if not isinstance(err, Exception):
+                raise
             self._reply(500, {"error": f"{type(err).__name__}: {err}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
@@ -368,7 +375,10 @@ class HTTPServingClient:
             body = err.read()
             try:
                 message = json.loads(body).get("error", body.decode())
-            except Exception:  # noqa: BLE001 - diagnostic path
+            except (ValueError, AttributeError, UnicodeDecodeError):
+                # Non-JSON / non-dict / non-UTF-8 error body: fall back to
+                # a lossy decode.  Anything else propagates — this is a
+                # diagnostic path, not a place to hide real failures.
                 message = body.decode(errors="replace")
             raise RuntimeError(f"{op} failed ({err.code}): {message}") from err
         except urllib.error.URLError as err:

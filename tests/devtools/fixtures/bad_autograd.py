@@ -1,0 +1,35 @@
+"""REP004 fixture: ops violating the ``Tensor._result`` autograd contract."""
+
+
+class Tensor:
+    @staticmethod
+    def _result(data, parents, op, backward=None):
+        return data
+
+
+def good_add(x, y):  # no findings: complete parents + backward
+    out = x + y
+
+    def backward(g):
+        x._accumulate(g)
+        y._accumulate(g)
+
+    return Tensor._result(out, (x, y), "add", backward)
+
+
+def missing_parent(x, y):
+    out = x * y
+
+    def backward(g):
+        x._accumulate(g)
+        y._accumulate(g)  # REP004: y is not in the parents tuple
+
+    return Tensor._result(out, (x,), "mul", backward)
+
+
+def no_backward(x):
+    return Tensor._result(x, (x,), "identity")  # REP004: no closure
+
+
+def none_backward(x):
+    return Tensor._result(x, (x,), "identity", None)  # REP004: backward=None

@@ -1,0 +1,35 @@
+"""REP003 fixture: module-global mutations with and without the guard.
+
+``_cache_lock`` is registered in the fixture hierarchy with
+``guards=("_CACHE",)``; ``_COUNTERS`` has no guard at all.
+"""
+
+import threading
+
+_cache_lock = threading.Lock()
+_CACHE = {}
+_COUNTERS = {}
+
+
+def unguarded_insert(key, value):
+    _CACHE[key] = value  # REP003: guard lock not held
+
+
+def guarded_insert(key, value):
+    with _cache_lock:
+        _CACHE[key] = value  # fine: registered guard held
+
+
+def bump(name):
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + 1  # REP003: no guard at all
+
+
+def shadowed(key):
+    _CACHE = {}  # local shadow: fine
+    _CACHE[key] = 1
+    return _CACHE
+
+
+def rebind():
+    global _COUNTERS
+    _COUNTERS = {}  # REP003: rebinding via global

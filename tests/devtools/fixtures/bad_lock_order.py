@@ -1,0 +1,59 @@
+"""REP001 / REP006 fixture: every violation here is intentional.
+
+The rule tests lint this file with a fixture lock hierarchy (see
+``tests/devtools/test_rules.py``) registering ``Outer._lock`` at rank 10
+(RLock) and ``Inner._lock`` at rank 20 (non-reentrant Lock), plus a
+``_mismatched_lock`` module global registered with the wrong kind.
+"""
+
+import queue
+import threading
+
+_rogue_lock = threading.Lock()  # REP006: not in the hierarchy table
+
+_mismatched_lock = threading.RLock()  # REP006: registered as a plain Lock
+
+work_queue = queue.Queue()
+
+
+class Inner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def leaf(self):
+        with self._lock:
+            pass
+
+
+class Outer:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.inner = Inner()
+
+    def inverted(self):
+        with self.inner._lock:  # rank 20 first...
+            with self._lock:  # REP001: rank 10 while holding rank 20
+                pass
+
+    def blocking_under_lock(self, thread):
+        with self._lock:
+            thread.join()  # REP001: blocking call under a lock
+            work_queue.get()  # REP001: queue wait under a lock
+
+    def transitive(self):
+        with self.inner._lock:
+            self.helper()  # REP001: helper() acquires rank 10
+
+    def helper(self):
+        with self._lock:
+            pass
+
+    def reenter_plain_lock(self):
+        with self.inner._lock:
+            with self.inner._lock:  # REP001: non-reentrant re-acquire
+                pass
+
+    def well_ordered(self):  # no findings: descending list order
+        with self._lock:
+            with self.inner._lock:
+                pass

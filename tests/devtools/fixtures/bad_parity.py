@@ -1,0 +1,40 @@
+"""REP005 fixture: segment ops breaking the two-backend contract.
+
+Linted with ``parity_fast_module="bad_parity.py"`` and a reference
+module (``parity_reference.py``) that is absent from the fixture
+project, so the ``_tensor.*`` dispatch check fires too.
+"""
+
+import numpy as np
+
+__all__ = ["segment_sum", "segment_max", "segment_mean", "scatter_add"]
+# REP005: segment_mean is exported but never defined.
+
+
+def segment_sum(values, segment_ids, num_segments):
+    if _backend() == "legacy":
+        # REP005: dispatch target missing from the reference module
+        return _tensor.legacy_segment_sum(values, segment_ids, num_segments)
+    out = np.zeros((num_segments,) + values.shape[1:])
+    np.add.at(out, segment_ids, values)  # REP005: scatter in a hot path
+    return out
+
+
+def segment_max(values, segment_ids, num_segments):
+    # REP005: no legacy-backend dispatch at all
+    out = np.full((num_segments,), -np.inf)
+    np.maximum.at(out, segment_ids, values)  # REP005: scatter in a hot path
+    return out
+
+
+def scatter_add(out, index, values):
+    # REP005 (no legacy dispatch) — but the scatter below is allowed:
+    np.add.at(out, index, values)  # allowed: the documented fallback site
+    return out
+
+
+def _backend():
+    return "fast"
+
+
+_tensor = None  # stand-in so the module at least imports

@@ -1,0 +1,17 @@
+"""REP002 fixture: wall-clock reads in a file outside the allowlist."""
+
+import time
+from time import perf_counter as pc
+
+
+def tick():
+    return time.time()  # REP002
+
+
+def sleepy():
+    time.sleep(0.1)  # REP002
+    return pc()  # REP002: aliased from-import
+
+
+def sanctioned():
+    return time.monotonic()  # repro: disable=REP002

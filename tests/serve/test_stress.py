@@ -25,6 +25,7 @@ import numpy as np
 import pytest
 
 from repro.core.space import FineTuneStrategySpec
+from repro.devtools.runtime import guard_serving_stack
 from repro.gnn import GNNEncoder
 from repro.serve import InferenceServer, InferenceService
 
@@ -95,8 +96,11 @@ def test_batch_of_one_server_is_bit_identical_to_serial_predict(tiny_dataset):
     with InferenceServer(service, num_workers=4, max_batch_size=1,
                          max_delay=2, tick_interval_s=0.001,
                          queue_size=512) as server:
-        hammer(server, graphs, collect)
-        stats = server.stats()
+        # Every interleaving the hammer explores also validates the
+        # documented lock hierarchy (repro.devtools.locks) at runtime.
+        with guard_serving_stack(server, service):
+            hammer(server, graphs, collect)
+            stats = server.stats()
 
     total = NUM_THREADS * REQUESTS_PER_THREAD
     assert len(results) == total
@@ -134,8 +138,9 @@ def test_batching_server_matches_serial_replay_of_each_micro_batch(tiny_dataset)
     with InferenceServer(service, num_workers=4, max_batch_size=8,
                          max_delay=3, tick_interval_s=0.001,
                          queue_size=512) as server:
-        hammer(server, graphs, collect)
-        stats = server.stats()
+        with guard_serving_stack(server, service):
+            hammer(server, graphs, collect)
+            stats = server.stats()
 
     total = NUM_THREADS * REQUESTS_PER_THREAD
     assert len(results) == total

@@ -26,6 +26,7 @@ from repro.serve import (
 )
 from repro.serve.transport import (
     TransportError,
+    _Handler,
     graph_from_payload,
     graph_to_payload,
     spec_from_payload,
@@ -139,6 +140,46 @@ class TestInProcessProtocol:
             assert len(transport.protocol._tickets) <= 3
             with pytest.raises(TransportError, match="unknown or expired"):
                 transport.result(seqs[0])  # already claimed
+
+
+class TestHandlerErrorBoundary:
+    """The HTTP handler's catch-all must never swallow interpreter exits."""
+
+    @staticmethod
+    def _bare_handler(raise_err):
+        """A ``_Handler`` with no socket: stubbed core + reply collector."""
+        from types import SimpleNamespace
+
+        class _Core:
+            def handle(self, op, payload):
+                raise raise_err
+
+        handler = _Handler.__new__(_Handler)
+        handler.server = SimpleNamespace(serving_protocol=_Core())
+        handler.replies = []
+        handler._reply = lambda status, body: handler.replies.append(
+            (status, body))
+        return handler
+
+    def test_plain_exception_maps_to_500(self):
+        handler = self._bare_handler(RuntimeError("boom"))
+        handler._dispatch("predict", {})
+        assert handler.replies == [(500, {"error": "RuntimeError: boom"})]
+
+    @pytest.mark.parametrize("exc_type", [KeyboardInterrupt, SystemExit])
+    def test_interpreter_exits_propagate(self, exc_type):
+        handler = self._bare_handler(exc_type())
+        with pytest.raises(exc_type):
+            handler._dispatch("predict", {})
+        assert handler.replies == []  # no 500 written for a dying process
+
+    def test_transport_and_timeout_mapping_unchanged(self):
+        handler = self._bare_handler(TransportError("bad request"))
+        handler._dispatch("predict", {})
+        assert handler.replies == [(400, {"error": "bad request"})]
+        handler = self._bare_handler(TimeoutError("too slow"))
+        handler._dispatch("predict", {})
+        assert handler.replies == [(504, {"error": "too slow"})]
 
 
 class TestHTTPTransport:
