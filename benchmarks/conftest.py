@@ -27,3 +27,20 @@ def scale() -> Scale:
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def assert_zero_steady_state_misses(warm_stats: dict, steady_stats: dict):
+    """The workspace-pool allocation contract (``bench_memory_plane.py``).
+
+    ``warm_stats`` / ``steady_stats`` are :meth:`WorkspacePool.stats`
+    snapshots taken after the warmup pass and after the steady-state
+    requests.  Steady state must lease every kernel output buffer from
+    the pool: not one new allocation (misses frozen), all the new
+    traffic served as hits.
+    """
+    assert steady_stats["misses"] == warm_stats["misses"], (
+        f"steady-state allocated "
+        f"{steady_stats['misses'] - warm_stats['misses']} new buffers: "
+        f"{warm_stats} -> {steady_stats}")
+    assert steady_stats["hits"] > warm_stats["hits"], (warm_stats,
+                                                       steady_stats)

@@ -132,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--emb-dim", type=int, default=32,
         help="encoder embedding width for score/serve")
+    serving.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64",
+        help="serving execution dtype: float32 runs the inference memory "
+             "plane (weights cast once at registration, workspace-pooled "
+             "forwards); float64 is the bit-identical default")
     serving.add_argument("--seed", type=int, default=0)
     routing = parser.add_argument_group("route options")
     routing.add_argument(
@@ -225,9 +230,19 @@ def _serving_context(args):
     print(f"search: {args.search_epochs} epoch(s) in {result.seconds:.2f}s, "
           f"derived {result.spec.describe()}")
 
+    serving_dtype = getattr(args, "dtype", "float64")
+    if serving_dtype != "float64":
+        # The searched supernet backs the one-hot scoring path; cast it to
+        # the serving dtype once, like the registry does for derived
+        # models (the search is over — the weights are frozen artifacts).
+        from .nn.policy import cast_module
+
+        cast_module(result.supernet, serving_dtype)
+        print(f"serving dtype: {serving_dtype} (memory plane on)")
     service = InferenceService(
         make_encoder, dataset.num_tasks, supernet=result.supernet,
         batch_cache=cache, batch_size=args.batch_size, seed=args.seed,
+        policy=None if serving_dtype == "float64" else serving_dtype,
     )
     return dataset, searcher, result, service
 

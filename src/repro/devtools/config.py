@@ -41,6 +41,23 @@ class LintConfig:
     #: files whose ops must satisfy the autograd contract (REP004)
     autograd_modules: tuple = ("nn/tensor.py", "nn/segment.py")
 
+    #: hot-path files where hard-coded float64 (or dtype-less) allocations
+    #: are banned (REP007): everything here must allocate in the active
+    #: ExecutionPolicy dtype via repro.nn.policy.  The policy module
+    #: itself and the legacy reference backend (nn/tensor.py) are exempt
+    #: by omission.
+    dtype_hot_modules: tuple = (
+        "nn/segment.py",
+        "graph/graph.py",
+        "graph/loader.py",
+        "serve/cache.py",
+        "serve/registry.py",
+        "serve/service.py",
+        "serve/router.py",
+        "serve/server.py",
+        "serve/transport.py",
+    )
+
     #: backend-parity config (REP005)
     parity_fast_module: str = "nn/segment.py"
     parity_reference_module: str = "nn/tensor.py"

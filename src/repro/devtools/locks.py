@@ -93,6 +93,9 @@ LOCK_HIERARCHY: tuple[LockSpec, ...] = (
              guards=("_scatter_plans",)),
     LockSpec(56, 5, "serve/transport.py", "ServingProtocol", "_lock", "Lock",
              "submit/result ticket window"),
+    LockSpec(57, 5, "nn/policy.py", "WorkspacePool", "_lock", "Lock",
+             "workspace arena registry (stats/reset aggregation only; "
+             "leases run lock-free on per-thread arenas)"),
 )
 
 

@@ -5,6 +5,7 @@ from . import wallclock       # noqa: F401  REP002
 from . import mutable_globals  # noqa: F401  REP003
 from . import autograd        # noqa: F401  REP004
 from . import backend_parity  # noqa: F401  REP005
+from . import dtype           # noqa: F401  REP007
 
 __all__ = ["lock_order", "wallclock", "mutable_globals", "autograd",
-           "backend_parity"]
+           "backend_parity", "dtype"]

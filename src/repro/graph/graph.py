@@ -12,8 +12,13 @@ A :class:`Graph` stores one attributed molecule-like graph:
 
 :class:`Batch` is the disjoint union of many graphs with a ``batch`` vector
 mapping each node to its source graph — the representation every
-aggregation / readout primitive in :mod:`repro.nn.segment` consumes.  A
-batch is treated as immutable after collation, which lets it lazily build
+aggregation / readout primitive in :mod:`repro.nn.segment` consumes.  Its
+float payloads (``y``, the GCN degree norms) are materialized **once, at
+collation time, in the active**
+:class:`~repro.nn.policy.ExecutionPolicy` **dtype** — a batch collated
+under ``serving_policy()`` feeds float32 forwards with no per-step casts,
+while training batches stay float64.  A batch is treated as immutable
+after collation, which lets it lazily build
 and cache the encoder-invariant precomputation every forward pass needs:
 the edge-destination :class:`~repro.nn.segment.SegmentPlan`, the
 node->graph plan, and GCN's symmetric degree norms.  Combined with
@@ -28,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..nn.policy import active_dtype
 from ..nn.segment import SegmentPlan
 
 __all__ = ["Graph", "Batch"]
@@ -50,7 +56,10 @@ class Graph:
         if self.edge_attr.ndim == 1:
             self.edge_attr = self.edge_attr.reshape(-1, 1)
         if self.y is not None:
-            self.y = np.asarray(self.y, dtype=np.float64).reshape(-1)
+            # Dataset-level labels stay float64 regardless of policy: one
+            # Graph may feed both training and serving collations, and the
+            # Batch casts at collation time.
+            self.y = np.asarray(self.y, dtype=np.float64).reshape(-1)  # repro: disable=REP007
         self.validate()
 
     # ------------------------------------------------------------------
@@ -146,9 +155,13 @@ class Batch:
         self.batch = np.concatenate(
             [np.full(g.num_nodes, i, dtype=np.int64) for i, g in enumerate(graphs)]
         )
+        # Collation dtype: captured once from the active execution policy,
+        # so every float payload of the batch (labels, degree norms) is
+        # materialized in it exactly once.
+        self.dtype = active_dtype()
         labeled = [g.y for g in graphs if g.y is not None]
         if len(labeled) == self.num_graphs:
-            self.y = np.stack(labeled, axis=0)
+            self.y = np.stack(labeled, axis=0).astype(self.dtype, copy=False)
         else:
             self.y = None
         # Lazy per-batch precomputation (built on first use, then reused
@@ -218,7 +231,11 @@ class Batch:
             counts = self.edge_plan().counts  # outside the lock: re-entrant build
             with self._plan_lock:
                 if self._gcn_inv_sqrt_deg is None:
-                    self._gcn_inv_sqrt_deg = 1.0 / np.sqrt(counts + 1.0)
+                    # float64 compute, then a no-copy cast to the collation
+                    # dtype — bit-identical under the default policy.
+                    self._gcn_inv_sqrt_deg = (
+                        1.0 / np.sqrt(counts + 1.0)).astype(self.dtype,
+                                                            copy=False)
         return self._gcn_inv_sqrt_deg
 
     def label_mask(self) -> np.ndarray:

@@ -17,6 +17,13 @@ cached mode also amortizes that per-batch precomputation: the first forward
 over each batch builds its plans, and every later epoch — and every phase
 (searcher, evolution, finetune) sharing the loader — reuses them.  Fresh
 mode re-collates per epoch and therefore also rebuilds plans per epoch.
+
+Collation captures the active :class:`~repro.nn.policy.ExecutionPolicy`
+dtype into each :class:`Batch` (see its docstring), so a cached loader's
+batches are materialized once in the dtype of whoever collates first.
+The serving layer runs :meth:`DataLoader.materialize` *inside* its policy
+scope for exactly this reason; a loader shared across policies should be
+materialized under the policy its consumers will run.
 """
 
 from __future__ import annotations

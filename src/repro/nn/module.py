@@ -18,6 +18,21 @@ from .tensor import Tensor
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList", "ModuleDict"]
 
 
+def _as_float_state(value) -> np.ndarray:
+    """Coerce loaded/registered state to a float ndarray, preserving dtype.
+
+    Floating payloads keep their dtype — a float32-cast serving checkpoint
+    round-trips without a silent re-upcast to float64 (and without the
+    copy that a forced ``dtype=np.float64`` conversion made even for
+    already-float64 input).  Non-float payloads (int counts saved by old
+    checkpoints) still promote to float64, the training default.
+    """
+    arr = np.asarray(value)
+    if arr.dtype.kind != "f":
+        arr = arr.astype(np.float64)
+    return arr
+
+
 class Parameter(Tensor):
     """A tensor registered as a trainable leaf of a module tree."""
 
@@ -48,13 +63,13 @@ class Module:
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register non-trainable state (e.g. BatchNorm running stats)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = _as_float_state(value)
         object.__setattr__(self, name, self._buffers[name])
 
     def set_buffer(self, name: str, value: np.ndarray) -> None:
         if name not in self._buffers:
             raise KeyError(f"no buffer named {name!r}")
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = _as_float_state(value)
         object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------
@@ -147,7 +162,7 @@ class Module:
                         f"shape mismatch for {key}: "
                         f"{params[key].data.shape} vs {value.shape}"
                     )
-                params[key].data = np.asarray(value, dtype=np.float64).copy()
+                params[key].data = _as_float_state(value).copy()
             elif strict:
                 missing.append(key)
         if strict:

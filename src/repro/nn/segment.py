@@ -68,12 +68,27 @@ from collections import OrderedDict
 import numpy as np
 
 from . import tensor as _tensor
+from .policy import active_dtype, active_workspace, workspace_zeros
 from .tensor import Tensor, as_tensor, gather
 
 try:  # scipy ships in the image; the kernels degrade gracefully without it.
     from scipy import sparse as _sparse
 except ImportError:  # pragma: no cover - exercised only on scipy-free installs
     _sparse = None
+
+#: scipy's raw CSR mat-multivec kernel (what ``csr @ dense`` calls after
+#: allocating its result).  Resolved defensively — it is a private module —
+#: so the workspace fast path can accumulate A@X straight into a leased,
+#: zeroed buffer; absent, workspace runs still work, they just let scipy
+#: allocate the matvec result.
+if _sparse is not None:
+    try:
+        from scipy.sparse import _sparsetools
+        _csr_matvecs = getattr(_sparsetools, "csr_matvecs", None)
+    except ImportError:  # pragma: no cover - layout varies across scipy
+        _csr_matvecs = None
+else:  # pragma: no cover - exercised only on scipy-free installs
+    _csr_matvecs = None
 
 __all__ = [
     "SegmentPlan",
@@ -154,18 +169,23 @@ class SegmentPlan:
         argument handed to ``np.*.reduceat`` (strictly increasing).
     inv_counts:
         ``1 / max(counts, 1)`` — the :func:`segment_mean` reciprocals,
-        computed once here instead of per call.
+        computed once here instead of per call (float64;
+        :meth:`inv_counts_for` serves other policy dtypes).
     full:
         True when every segment is non-empty (the common case for
         node->graph plans), enabling a copy-free ``reduceat`` result.
 
     The CSR selection matrix and the vertical-max rank slices are built
-    lazily on first use and cached for the plan's lifetime.
+    lazily on first use and cached for the plan's lifetime; the CSR matrix
+    and mean reciprocals are cached *per execution dtype*, so a plan shared
+    between a float64 eval path and a float32 serving path serves both
+    without per-call casts.
     """
 
     __slots__ = ("segment_ids", "num_segments", "num_items", "order",
                  "counts", "offsets", "indptr", "segments", "starts",
-                 "inv_counts", "full", "_csr", "_rank_slices")
+                 "inv_counts", "full", "_csr_by_dtype", "_inv_by_dtype",
+                 "_rank_slices")
 
     def __init__(self, segment_ids: np.ndarray, num_segments: int):
         ids = np.asarray(segment_ids, dtype=np.int64).reshape(-1)
@@ -190,24 +210,45 @@ class SegmentPlan:
         self.starts = self.offsets[self.segments]
         self.inv_counts = 1.0 / np.maximum(counts, 1.0)
         self.full = self.segments.size == num_segments
-        self._csr = None
+        self._csr_by_dtype: dict = {}
+        self._inv_by_dtype: dict = {}
         self._rank_slices = None
 
-    def csr(self):
+    def csr(self, dtype=np.float64):
         """Cached ``(num_segments, num_items)`` CSR selection matrix.
 
         Row ``s`` selects the rows of segment ``s`` in their original
         appearance order, so ``csr @ x`` accumulates exactly like
-        ``np.add.at``.  Returns None when scipy is unavailable.
+        ``np.add.at``.  One matrix is cached per execution dtype (its
+        ``data`` array of ones must match the operand dtype or scipy
+        upcasts the whole matvec).  Returns None when scipy is
+        unavailable.
         """
         if _sparse is None:
             return None
-        if self._csr is None:
-            self._csr = _sparse.csr_matrix(
-                (np.ones(self.num_items), self.order, self.indptr),
+        key = np.dtype(dtype).str
+        csr = self._csr_by_dtype.get(key)
+        if csr is None:
+            # Benign race under concurrent first use: both threads build
+            # the same matrix; last write wins, both results are valid.
+            csr = _sparse.csr_matrix(
+                (np.ones(self.num_items, dtype=dtype), self.order,
+                 self.indptr),
                 shape=(self.num_segments, self.num_items),
             )
-        return self._csr
+            self._csr_by_dtype[key] = csr
+        return csr
+
+    def inv_counts_for(self, dtype) -> np.ndarray:
+        """:attr:`inv_counts` in the requested execution dtype (cached)."""
+        dtype = np.dtype(dtype)
+        if dtype == np.float64:
+            return self.inv_counts
+        cached = self._inv_by_dtype.get(dtype.str)
+        if cached is None:
+            cached = self.inv_counts.astype(dtype)
+            self._inv_by_dtype[dtype.str] = cached
+        return cached
 
     def rank_slices(self) -> list:
         """Cached vertical-max passes: ``(segment ids, sorted-row positions)``
@@ -252,13 +293,31 @@ def _reduce_sum_data(x_data: np.ndarray, plan: SegmentPlan) -> np.ndarray:
     """Per-segment sum of ``x_data`` rows (CSR matvec, reduceat fallback).
 
     Both paths accumulate each segment's rows in original appearance
-    order, exactly matching the sequential ``np.add.at`` reference.
+    order, exactly matching the sequential ``np.add.at`` reference.  The
+    output dtype follows ``x_data`` (the active policy's dtype on the
+    forward path).  When the active policy carries a workspace pool and
+    scipy's raw ``csr_matvecs`` kernel is importable, the matvec
+    accumulates into a leased, zeroed workspace buffer instead of letting
+    scipy allocate — same kernel, same accumulation order, no allocation
+    at steady state.
     """
+    dtype = x_data.dtype
     tail = x_data.shape[1:]
     if plan.starts.size == 0:
-        return np.zeros((plan.num_segments,) + tail, dtype=np.float64)
-    csr = plan.csr()
+        return workspace_zeros((plan.num_segments,) + tail, dtype)
+    csr = plan.csr(dtype)
     if csr is not None:
+        pool = active_workspace()
+        if pool is not None and _csr_matvecs is not None:
+            flat = x_data.reshape(plan.num_items, -1)
+            if not flat.flags.c_contiguous:
+                flat = np.ascontiguousarray(flat)
+            n_vecs = flat.shape[1]
+            out = pool.zeros((plan.num_segments, n_vecs), dtype)
+            _csr_matvecs(plan.num_segments, plan.num_items, n_vecs,
+                         csr.indptr, csr.indices, csr.data,
+                         flat.ravel(), out.ravel())
+            return out.reshape((plan.num_segments,) + tail)
         if x_data.ndim <= 2:
             return csr @ x_data
         flat = csr @ x_data.reshape(plan.num_items, -1)
@@ -266,21 +325,33 @@ def _reduce_sum_data(x_data: np.ndarray, plan: SegmentPlan) -> np.ndarray:
     sums = np.add.reduceat(x_data[plan.order], plan.starts, axis=0)
     if plan.full:
         return sums
-    out = np.zeros((plan.num_segments,) + tail, dtype=np.float64)
+    out = workspace_zeros((plan.num_segments,) + tail, dtype)
     out[plan.segments] = sums
     return out
 
 
 def _reduce_max_data(x_data: np.ndarray, plan: SegmentPlan) -> np.ndarray:
-    """Per-segment max of ``x_data`` rows (empty segments yield zeros)."""
-    out = np.zeros((plan.num_segments,) + x_data.shape[1:], dtype=np.float64)
+    """Per-segment max of ``x_data`` rows (empty segments yield zeros).
+
+    Output dtype follows ``x_data``; under a workspace policy both the
+    output and the sorted-row staging buffer are leased from the pool.
+    """
+    dtype = x_data.dtype
+    out = workspace_zeros((plan.num_segments,) + x_data.shape[1:], dtype)
     if plan.starts.size == 0:
         return out
     max_count = int(plan.counts.max())
     if max_count <= _VERTICAL_MAX_RANK_LIMIT:
         # Vertical max: seed with each segment's rank-0 row, then fold in
         # one vectorized pass per remaining within-segment rank.
-        xs = x_data[plan.order]
+        pool = active_workspace()
+        if pool is not None:
+            # mode="clip" skips numpy's bounds-check temporary; plan.order
+            # is a permutation, so clipping never changes an index.
+            xs = np.take(x_data, plan.order, axis=0, mode="clip",
+                         out=pool.empty(x_data.shape, dtype))
+        else:
+            xs = x_data[plan.order]
         out[plan.segments] = xs[plan.starts]
         for sel, pos in plan.rank_slices():
             out[sel] = np.maximum(out[sel], xs[pos])
@@ -325,8 +396,15 @@ def segment_mean(x: Tensor, index, num_segments: int | None = None) -> Tensor:
         ids, n = _ids_of(index, num_segments)
         return _tensor.segment_mean(x, ids, n)
     plan = as_plan(index, num_segments)
-    inv = plan.inv_counts.reshape((plan.num_segments,) + (1,) * (x.ndim - 1))
-    out_data = _reduce_sum_data(x.data, plan) * inv
+    inv = plan.inv_counts_for(x.data.dtype).reshape(
+        (plan.num_segments,) + (1,) * (x.ndim - 1))
+    sums = _reduce_sum_data(x.data, plan)
+    if active_workspace() is not None:
+        # The sum buffer is a workspace lease unique to this pass — scale
+        # it in place rather than allocating the mean.
+        out_data = np.multiply(sums, inv, out=sums)
+    else:
+        out_data = sums * inv
 
     def backward(g):
         if x.requires_grad:
@@ -352,7 +430,8 @@ def segment_max(x: Tensor, index, num_segments: int | None = None) -> Tensor:
         if not x.requires_grad:
             return
         winners = x.data == out_data[plan.segment_ids]
-        tie_counts = np.maximum(_reduce_sum_data(winners.astype(np.float64), plan), 1.0)
+        tie_counts = np.maximum(
+            _reduce_sum_data(winners.astype(x.data.dtype), plan), 1.0)
         x._accumulate(np.where(
             winners, g[plan.segment_ids] / tie_counts[plan.segment_ids], 0.0))
 
@@ -377,7 +456,8 @@ def gather_segments(x: Tensor, index, num_segments: int | None = None) -> Tensor
 
     def backward(g):
         if x.requires_grad:
-            x._accumulate(_reduce_sum_data(np.asarray(g, dtype=np.float64), plan))
+            x._accumulate(_reduce_sum_data(
+                np.asarray(g, dtype=x.data.dtype), plan))
 
     return Tensor._result(out_data, (x,), "gather_segments", backward)
 
@@ -444,7 +524,9 @@ def _repeated_index_plan(ids: np.ndarray, num_segments: int) -> SegmentPlan | No
         plan = False  # negative indices: numpy-valid, plan-invalid
     else:
         plan = SegmentPlan(ids, num_segments)
-        plan.csr()  # warm the kernel cache: this path is the repeated one
+        # Warm the kernel cache in the dtype this path will run in: the
+        # second touch proved the index repeats.
+        plan.csr(active_dtype())
     with _scatter_plan_lock:
         while len(_scatter_plans) >= _SCATTER_PLAN_CAPACITY:
             _scatter_plans.popitem(last=False)
@@ -471,14 +553,19 @@ def scatter_add(g, index: np.ndarray, num_rows: int) -> np.ndarray:
     instead — collated batches and embedding-id columns already satisfy
     this, being frozen after collation.
     """
-    g = np.asarray(g, dtype=np.float64)
+    # Dtype-preserving: a float operand scatters in its own dtype with no
+    # forced-upcast copy; only non-float payloads (int one-hots from
+    # integer getitem adjoints) are promoted, to the policy dtype.
+    g = np.asarray(g)
+    if g.dtype.kind != "f":
+        g = g.astype(active_dtype())
     index = np.asarray(index, dtype=np.int64)
     plan = None
     if _ACTIVE_BACKEND.get() != "legacy" and index.ndim == 1:
         plan = _repeated_index_plan(index, num_rows)
     if plan is not None:
         return _reduce_sum_data(g, plan)
-    out = np.zeros((num_rows,) + g.shape[index.ndim:], dtype=np.float64)
+    out = workspace_zeros((num_rows,) + g.shape[index.ndim:], g.dtype)
     np.add.at(out, index, g)
     return out
 

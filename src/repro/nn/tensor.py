@@ -9,8 +9,10 @@ those gradients we implement a generic tape-based autodiff over numpy arrays.
 
 Design notes
 ------------
-* A :class:`Tensor` wraps a ``numpy.ndarray`` (always ``float64`` for
-  numerically robust finite-difference checking) plus an optional gradient.
+* A :class:`Tensor` wraps a ``numpy.ndarray`` (``float64`` under the
+  default :class:`~repro.nn.policy.ExecutionPolicy` for numerically robust
+  finite-difference checking; float32 under ``serving_policy()``) plus an
+  optional gradient.
 * Each differentiable operation returns a new tensor holding a ``_backward``
   closure that accumulates into its parents' ``grad`` buffers.
 * Broadcasting follows numpy semantics; :func:`_unbroadcast` reduces an
@@ -24,6 +26,8 @@ from __future__ import annotations
 import contextvars
 
 import numpy as np
+
+from .policy import active_dtype, workspace_zeros
 
 __all__ = [
     "Tensor",
@@ -101,7 +105,11 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to a ``float64`` ndarray.
+        Array-like payload; converted to an ndarray in the active
+        :class:`~repro.nn.policy.ExecutionPolicy` dtype (``float64``
+        by default).  An ndarray already in the policy dtype is wrapped
+        without copying — the policy-threaded kernels exploit this to
+        hand workspace buffers straight to tensors.
     requires_grad:
         If True, ``backward()`` populates :attr:`grad` for this tensor.
     """
@@ -111,7 +119,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, _prev=(), _op: str = ""):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=active_dtype())
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward = None
@@ -160,7 +168,8 @@ class Tensor:
     # autodiff machinery
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype),
+                            self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -602,7 +611,8 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     differential testing.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out_data = np.zeros((num_segments,) + x.data.shape[1:], dtype=np.float64)
+    out_data = workspace_zeros((num_segments,) + x.data.shape[1:],
+                               x.data.dtype)
     np.add.at(out_data, segment_ids, x.data)
 
     def backward(g):
@@ -615,7 +625,7 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
 def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Mean-pool rows of ``x`` per segment (empty segments yield zeros)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(x.data.dtype)
     counts = np.maximum(counts, 1.0)
     total = segment_sum(x, segment_ids, num_segments)
     return total * Tensor(1.0 / counts).reshape((num_segments,) + (1,) * (x.ndim - 1))
@@ -624,7 +634,8 @@ def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tenso
 def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Max-pool rows of ``x`` per segment (empty segments yield zeros)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out_data = np.full((num_segments,) + x.data.shape[1:], -np.inf, dtype=np.float64)
+    out_data = np.full((num_segments,) + x.data.shape[1:], -np.inf,
+                       dtype=x.data.dtype)
     np.maximum.at(out_data, segment_ids, x.data)
     empty = ~np.isin(np.arange(num_segments), segment_ids)
     out_data[empty] = 0.0
@@ -635,7 +646,7 @@ def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
             return
         # Split gradient among ties within each segment.
         tie_counts = np.zeros_like(out_data)
-        np.add.at(tie_counts, segment_ids, winners.astype(np.float64))
+        np.add.at(tie_counts, segment_ids, winners.astype(out_data.dtype))
         tie_counts = np.maximum(tie_counts, 1.0)
         x._accumulate(np.where(winners, g[segment_ids] / tie_counts[segment_ids], 0.0))
 

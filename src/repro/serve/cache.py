@@ -13,7 +13,11 @@ collates each split exactly once.
 Keying
 ------
 Entries are keyed by the *identity of the member graphs in order* (a tuple
-of ``id(graph)``), not by the identity of the containing list.
+of ``id(graph)``) **plus the active execution-policy dtype** — a float64
+evaluation path and a float32 serving path requesting the same split get
+separate loaders, because a :class:`~repro.graph.graph.Batch` materializes
+its float payloads in the collation-time policy dtype and is immutable
+afterwards.  Entries are not keyed by the identity of the containing list.
 ``MolecularDataset.split`` memoizes split *indices* but builds a fresh list
 of the same :class:`~repro.graph.graph.Graph` objects on every call, so an
 ``id(list)`` key (what the searcher used before this layer) silently missed
@@ -40,6 +44,7 @@ import threading
 from collections import OrderedDict
 
 from ..graph.loader import DataLoader
+from ..nn.policy import active_dtype
 
 __all__ = ["BatchCacheRegistry"]
 
@@ -77,7 +82,10 @@ class BatchCacheRegistry:
     # ------------------------------------------------------------------
     @staticmethod
     def _key(graphs, batch_size: int) -> tuple:
-        return (batch_size, tuple(id(g) for g in graphs))
+        # The policy dtype joins the key: batches snapshot it at collation,
+        # so loaders must not be shared across execution dtypes.
+        return (batch_size, active_dtype().str,
+                tuple(id(g) for g in graphs))
 
     def loader(self, graphs, batch_size: int) -> DataLoader:
         """The shared caching loader for ``graphs`` at ``batch_size``.
@@ -127,7 +135,7 @@ class BatchCacheRegistry:
                 keys = list(self._entries)
             else:
                 stale = {id(g) for g in graphs}
-                keys = [k for k in self._entries if stale.intersection(k[1])]
+                keys = [k for k in self._entries if stale.intersection(k[2])]
             for key in keys:
                 self._dropped_collations += self._entries.pop(key)[1].num_collations
 

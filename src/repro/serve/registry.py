@@ -53,16 +53,26 @@ class ModelRegistry:
     seed:
         Seed for newly built models, matching ``DerivedModel(..., seed=...)``
         so a registry-built model is bit-identical to a hand-built one.
+    dtype:
+        Optional serving dtype (``"float32"``).  When set, every model
+        entering the registry — built, externally added, or checkpoint
+        loaded — has its frozen weights cast **once, in place, at
+        registration** (:func:`repro.nn.policy.cast_module`), so forwards
+        under the matching execution policy run cast-free.  A dtype-set
+        registry therefore takes ownership of added models' weights;
+        register a copy if the float64 original must survive.  Default
+        None preserves weights bit-for-bit.
     """
 
     def __init__(self, encoder_factory, num_tasks: int, capacity: int = 8,
-                 seed: int = 0):
+                 seed: int = 0, dtype: str | None = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.encoder_factory = encoder_factory
         self.num_tasks = num_tasks
         self.capacity = capacity
         self.seed = seed
+        self.dtype = dtype
         self._models: "OrderedDict" = OrderedDict()
         # Externally registered models (e.g. a fine-tuned model the service
         # must keep serving verbatim) are pinned: exempt from LRU eviction,
@@ -113,6 +123,10 @@ class ModelRegistry:
         registry above ``capacity``, bounded by the caller's explicit
         ``add`` calls.
         """
+        if self.dtype is not None:
+            from ..nn.policy import cast_module
+
+            cast_module(model, self.dtype)
         with self._lock:
             if spec not in self._models:
                 while len(self._models) >= self.capacity:
@@ -159,7 +173,10 @@ class ModelRegistry:
         ``path`` is an ``.npz`` state dict as written by
         :func:`repro.nn.serialization.save_state_dict` /
         :func:`save_checkpoint` — e.g. a fine-tuned model persisted by a
-        training run and re-served later.  A fresh model object is built
+        training run and re-served later.  The load is dtype-preserving
+        end to end: a float32-cast serving checkpoint reloads as float32
+        (no silent re-upcast), and a dtype-set registry casts whatever
+        loads to its serving dtype at the closing ``add``.  A fresh model object is built
         and registered (replacing any cached one) rather than mutating an
         already served model in place, so response caches keyed by the old
         object are naturally orphaned instead of silently serving stale
@@ -214,6 +231,7 @@ class ModelRegistry:
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
+                "dtype": self.dtype or "float64",
             }
 
     def __repr__(self) -> str:

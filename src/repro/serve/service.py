@@ -64,17 +64,34 @@ this prose and the table in sync; edit the table first.
    ``ModelRegistry._lock`` (rank 50), ``BatchCacheRegistry._lock``
    (rank 51), ``DataLoader._cache_lock`` (rank 52), ``Batch._plan_lock``
    (rank 53), ``graph.datasets._dataset_cache_lock`` (rank 54),
-   ``nn.segment._scatter_plan_lock`` (rank 55) and
-   ``ServingProtocol._lock`` (rank 56).
+   ``nn.segment._scatter_plan_lock`` (rank 55),
+   ``ServingProtocol._lock`` (rank 56) and ``WorkspacePool._lock``
+   (rank 57).
 
 Eval-mode forwards mutate nothing (no autograd state under ``no_grad``,
-no BatchNorm buffer updates in eval), and grad/backend flags are
-context-local (:mod:`repro.nn.tensor` / :mod:`repro.nn.segment`), so the
-only per-model critical section is the mode flip in ``_eval_logits``.
+no BatchNorm buffer updates in eval), and grad/backend/policy flags are
+context-local (:mod:`repro.nn.tensor` / :mod:`repro.nn.segment` /
+:mod:`repro.nn.policy`), so the only per-model critical section is the
+mode flip in ``_eval_logits``.
+
+Execution policy (the inference memory plane)
+---------------------------------------------
+A service built with ``policy="float32"`` (or an explicit
+:class:`~repro.nn.policy.ExecutionPolicy`) runs every compute — batch
+collation, warming, forwards — inside that policy's scope: batches are
+materialized once in float32, the fresh model registry casts frozen
+weights once at registration, and segment kernels lease their output
+buffers from the policy's shared :class:`~repro.nn.policy.WorkspacePool`
+(per-thread arenas, so the worker pool shares one pool without
+contention).  ``_eval_logits`` begins a workspace pass per batch and
+copies logits out before the next pass, which is the pool's buffer
+lifetime contract.  The default ``policy=None`` keeps the historical
+bit-identical float64 behavior.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import weakref
 from collections import OrderedDict
@@ -83,6 +100,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..metrics import multitask_score_or_fallback
+from ..nn.policy import ExecutionPolicy, active_dtype, active_workspace, serving_policy
 from .cache import BatchCacheRegistry
 from .registry import ModelRegistry
 
@@ -92,18 +110,28 @@ __all__ = ["InferenceService", "SpecScore"]
 def _eval_logits(model, loader, forward, num_tasks: int) -> np.ndarray:
     """Eval-mode sweep: ``forward(batch)`` logits over ``loader``, with the
     model's previous train/eval mode restored.  Zero batches (an empty
-    graph list) yield a correctly shaped ``(0, num_tasks)`` array."""
+    graph list) yield a correctly shaped ``(0, num_tasks)`` array.
+
+    Runs under whatever execution policy the caller has active.  With a
+    workspace pool installed, each batch forward is one workspace *pass*:
+    leased buffers are recycled between batches, and the ``.copy()`` of
+    each logits array is what moves results out of workspace-owned memory
+    before the next pass reuses it.
+    """
     from ..nn import no_grad
 
+    pool = active_workspace()
     was_training = model.training
     model.eval()
     preds = []
     with no_grad():
         for batch in loader:
+            if pool is not None:
+                pool.begin_pass()
             preds.append(forward(batch).data.copy())
     model.train(was_training)
     if not preds:
-        return np.zeros((0, num_tasks))
+        return np.zeros((0, num_tasks), dtype=active_dtype())
     return np.concatenate(preds, axis=0)
 
 
@@ -142,18 +170,34 @@ class InferenceService:
         Capacity of the response-memoization LRU (0 disables it).  Served
         models are frozen, so identical requests return cached logits;
         call :meth:`invalidate_logits` after mutating a served model.
+    policy:
+        Optional serving :class:`~repro.nn.policy.ExecutionPolicy`, or a
+        dtype string (``"float32"`` builds the standard serving preset:
+        float32 + workspace pool).  Every compute of this service runs
+        inside the policy's scope; a *fresh* model registry inherits the
+        policy dtype (weights cast once at registration).  A shared
+        ``models`` registry is left as configured — align its ``dtype``
+        with the policy yourself when sharing.  Default None: float64,
+        bit-identical to the pre-policy service.
     """
 
     def __init__(self, encoder_factory, num_tasks: int, supernet=None,
                  models: ModelRegistry | None = None,
                  batch_cache: BatchCacheRegistry | None = None,
                  batch_size: int = 64, seed: int = 0,
-                 logit_cache_size: int = 256):
+                 logit_cache_size: int = 256,
+                 policy: "ExecutionPolicy | str | None" = None):
         self.supernet = supernet
+        if isinstance(policy, str):
+            policy = serving_policy(policy)
+        self.policy = policy
         # Explicit None checks: registries define __len__, so an *empty*
         # registry passed in for sharing is falsy but must still be used.
         if models is None:
-            models = ModelRegistry(encoder_factory, num_tasks, seed=seed)
+            dtype = (policy.dtype if policy is not None
+                     and policy.dtype != "float64" else None)
+            models = ModelRegistry(encoder_factory, num_tasks, seed=seed,
+                                   dtype=dtype)
         self.models = models
         self.batch_cache = batch_cache if batch_cache is not None else BatchCacheRegistry()
         self.batch_size = batch_size
@@ -203,14 +247,27 @@ class InferenceService:
         self.supernet = supernet
         return self
 
+    def _policy_scope(self):
+        """The service's execution-policy context (a no-op without one).
+
+        Everything that collates batches, keys the batch cache, or runs a
+        forward must happen inside this scope so the whole request sees
+        one coherent dtype.
+        """
+        if self.policy is None:
+            return contextlib.nullcontext()
+        return self.policy
+
     def model_for(self, spec):
         """The persistent derived model serving ``spec`` (built on miss,
         warm-started from the attached supernet when available)."""
         return self.models.get(spec, supernet=self.supernet)
 
     def warm(self, graphs, batch_size: int | None = None) -> None:
-        """Pre-collate ``graphs`` and build their segment plans."""
-        self.batch_cache.warm(graphs, batch_size or self.batch_size)
+        """Pre-collate ``graphs`` and build their segment plans (under the
+        service's execution policy, so warmed batches are serving-ready)."""
+        with self._policy_scope():
+            self.batch_cache.warm(graphs, batch_size or self.batch_size)
 
     # ------------------------------------------------------------------
     def _model_lock(self, model) -> threading.RLock:
@@ -283,8 +340,10 @@ class InferenceService:
         model = self.model_for(spec)
 
         def compute():
-            return _eval_logits(model, self.batch_cache.loader(graphs, batch_size),
-                                model, self.models.num_tasks)
+            with self._policy_scope():
+                return _eval_logits(
+                    model, self.batch_cache.loader(graphs, batch_size),
+                    model, self.models.num_tasks)
 
         return self._memoized(model, spec, graphs, batch_size, compute)
 
@@ -305,12 +364,13 @@ class InferenceService:
         supernet = self.supernet
 
         def compute():
-            one_hots = _spec_to_onehots(spec, supernet.space,
-                                        supernet.encoder.num_layers)
-            return _eval_logits(
-                supernet, self.batch_cache.loader(graphs, batch_size),
-                lambda batch: supernet.forward_full(batch, one_hots)["logits"],
-                supernet.num_tasks)
+            with self._policy_scope():
+                one_hots = _spec_to_onehots(spec, supernet.space,
+                                            supernet.encoder.num_layers)
+                return _eval_logits(
+                    supernet, self.batch_cache.loader(graphs, batch_size),
+                    lambda batch: supernet.forward_full(batch, one_hots)["logits"],
+                    supernet.num_tasks)
 
         return self._memoized(supernet, spec, graphs, batch_size, compute)
 
@@ -331,8 +391,12 @@ class InferenceService:
             # a metric over zero graphs is not.
             raise ValueError("cannot score specs over an empty graph list")
         batch_size = batch_size or self.batch_size
-        loader = self.batch_cache.loader(graphs, batch_size)
-        trues = np.concatenate([batch.y for batch in loader], axis=0)
+        with self._policy_scope():
+            # Fetch the loader inside the policy scope: the batch-cache key
+            # includes the active dtype, so this resolves to the same
+            # cached loader the predict computes will use.
+            loader = self.batch_cache.loader(graphs, batch_size)
+            trues = np.concatenate([batch.y for batch in loader], axis=0)
         results = []
         for spec in specs:
             if self.supernet is not None:
@@ -428,6 +492,11 @@ class InferenceService:
             "batches": self.batch_cache.stats(),
             "logits": logits,
         }
+        if self.policy is not None:
+            policy = {"dtype": self.policy.dtype}
+            if self.policy.workspace is not None:
+                policy["workspace"] = self.policy.workspace.stats()
+            stats["policy"] = policy
         if router is not None:
             stats["router"] = router.stats()
         return stats

@@ -1,0 +1,39 @@
+"""REP007 fixture: hard-coded / dtype-less float allocations on a hot path."""
+
+import numpy as np
+from numpy import float64 as f64
+
+
+def hard_coded_zeros(n):
+    return np.zeros(n, dtype=np.float64)  # REP007
+
+
+def hard_coded_cast(x):
+    return np.asarray(x, dtype=np.float64)  # REP007
+
+
+def hard_coded_astype(x):
+    return x.astype(np.float64)  # REP007
+
+
+def aliased_member(n):
+    return np.empty(n, dtype=f64)  # REP007: aliased from-import
+
+
+def string_dtype(n):
+    return np.ones(n, dtype="float64")  # REP007: string spelling
+
+
+def bare_alloc(n):
+    return np.zeros(n)  # REP007: dtype-less defaults to float64
+
+
+def fine_explicit(n, dtype):
+    out = np.zeros(n, dtype=dtype)  # fine: caller-provided dtype
+    mask = np.zeros(n, dtype=bool)  # fine: non-float payload
+    ids = np.empty(n, dtype=np.int64)  # fine: explicit integer dtype
+    return out, mask, ids
+
+
+def sanctioned(n):
+    return np.zeros(n, dtype=np.float64)  # repro: disable=REP007

@@ -46,6 +46,7 @@ def fixture_config(**overrides) -> LintConfig:
         parity_scatter_functions=("scatter_add",),
         parity_suite_files=(),
         attr_bindings={"inner": "Inner"},
+        dtype_hot_modules=("bad_dtype.py",),
     )
     defaults.update(overrides)
     return LintConfig(**defaults)
@@ -172,6 +173,37 @@ class TestREP006LockCensus:
                    for m in found)
 
 
+class TestREP007Dtype:
+    def test_fixture_violations_caught(self):
+        found = messages(run("REP007"), "bad_dtype.py")
+        assert len(found) == 6
+        assert sum("hard-coded float64" in m for m in found) == 5
+        assert any("np.zeros" in m and "hard-coded" in m for m in found)
+        assert any(".astype" in m for m in found)
+        assert any("np.empty" in m for m in found)  # aliased from-import
+        assert any("np.ones" in m for m in found)   # "float64" string
+        assert sum("dtype-less" in m for m in found) == 1
+
+    def test_explicit_dtypes_are_clean(self):
+        source = fixture_project().get("bad_dtype.py").source
+        bad_lines = {f.line for f in run("REP007")}
+        for needle in ("caller-provided dtype", "non-float payload",
+                       "explicit integer dtype"):
+            line = next(i for i, text in enumerate(source.splitlines(),
+                                                   start=1) if needle in text)
+            assert line not in bad_lines
+
+    def test_pragma_suppresses_the_sanctioned_line(self):
+        source = fixture_project().get("bad_dtype.py").source
+        pragma_line = next(i for i, line in enumerate(
+            source.splitlines(), start=1) if "disable=REP007" in line)
+        assert pragma_line not in {f.line for f in run("REP007")}
+
+    def test_only_hot_modules_are_checked(self):
+        config = fixture_config(dtype_hot_modules=())
+        assert run("REP007", config=config) == []
+
+
 class TestSuppressionMachinery:
     def test_baseline_suppresses_by_location(self, tmp_path):
         findings = run("REP002")
@@ -210,9 +242,9 @@ class TestSuppressionMachinery:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert sorted(RULES) == ["REP001", "REP002", "REP003",
-                                 "REP004", "REP005", "REP006"]
+                                 "REP004", "REP005", "REP006", "REP007"]
 
     def test_unknown_rule_id_rejected(self):
         with pytest.raises(ValueError, match="unknown rule ids: REP999"):

@@ -27,7 +27,9 @@ from repro.nn import (
     segment_mean,
     segment_softmax,
     segment_sum,
+    serving_policy,
     use_backend,
+    use_dtype,
 )
 from tests.conftest import gradcheck
 
@@ -135,6 +137,67 @@ class TestFuzzBackendParity:
         small_plan = SegmentPlan(ids[:data.shape[0]], n)
         for op in (segment_sum, segment_mean):
             gradcheck(lambda x, op=op: op(x, small_plan).sum(), data)
+
+
+class TestFuzzFloat32Policy:
+    """The same adversarial layouts under the serving dtype (PR 7).
+
+    Float32 kernels cannot be bit-identical to the float64 reference, so
+    the contract is split: toleranced agreement with the float64 values
+    (the accumulation order is unchanged, only the precision drops), and
+    *bit*-identity between the plain float32 path and the workspace-pool
+    path — pooling recycles output buffers, it must never change a single
+    bit of what lands in them.
+    """
+
+    #: |f32 - f64| bound for ~Normal(0,1) rows over <=200-item segments:
+    #: float32 eps is 1.2e-7; sums of tens of unit-scale terms stay well
+    #: under 1e-4 absolute error.
+    TOL = 1e-4
+
+    @given(segment_layouts())
+    @settings(max_examples=25, deadline=None)
+    def test_float32_tracks_float64_within_tolerance(self, layout):
+        ids, n, seed = layout
+        data = np.random.default_rng(seed).normal(size=(ids.size, 3))
+        plan = SegmentPlan(ids, n)
+        for op in EXACT_OPS:
+            with use_dtype("float32"):
+                out32, grad32 = _run(op, data, plan, None)
+            out64, grad64 = _run(op, data, plan, None)
+            assert out32.dtype == np.float32, op.__name__
+            assert grad32.dtype == np.float32, op.__name__
+            assert np.abs(out32 - out64).max(initial=0.0) <= self.TOL, op.__name__
+            assert np.abs(grad32 - grad64).max(initial=0.0) <= self.TOL, op.__name__
+
+    @given(segment_layouts())
+    @settings(max_examples=25, deadline=None)
+    def test_workspace_pool_is_bit_identical_to_plain_float32(self, layout):
+        ids, n, seed = layout
+        data = np.random.default_rng(seed).normal(size=(ids.size, 3))
+        plan = SegmentPlan(ids, n)
+        for op in EXACT_OPS:
+            with use_dtype("float32"):
+                out_plain, grad_plain = _run(op, data, plan, None)
+            with serving_policy():
+                out_pool, grad_pool = _run(op, data, plan, None)
+            assert np.array_equal(out_pool, out_plain), op.__name__
+            assert np.array_equal(grad_pool, grad_plain), op.__name__
+
+    @given(segment_layouts())
+    @settings(max_examples=15, deadline=None)
+    def test_float32_softmax_stays_normalized(self, layout):
+        ids, n, seed = layout
+        if ids.size == 0:
+            return
+        data = np.random.default_rng(seed).normal(size=ids.size)
+        with use_dtype("float32"):
+            out = segment_softmax(Tensor(data), SegmentPlan(ids, n), None)
+            assert out.data.dtype == np.float32
+            sums = np.zeros(n, dtype=np.float64)
+            np.add.at(sums, ids, out.data.astype(np.float64))
+        occupied = np.bincount(ids, minlength=n) > 0
+        assert np.allclose(sums[occupied], 1.0, atol=1e-5)
 
 
 class TestNamedEdgeCases:

@@ -131,3 +131,47 @@ class TestServiceBackendParity:
             assert a.spec == b.spec
             assert a.score == b.score
             assert np.array_equal(a.logits, b.logits)
+
+
+class TestServingPolicyDifferential:
+    """PR 7's float32 serving policy against the float64 ground truth.
+
+    Unlike the backend legs above, float32 cannot be bit-identical — the
+    contract is toleranced logit parity and a bounded score delta, with
+    the *same* full pipeline (search + fine-tune) providing the weights.
+    The train path runs outside the policy and stays float64, so the two
+    services serve the same fitted model; only the serving compute
+    differs.
+    """
+
+    def test_fitted_model_served_under_float32_policy(self, tiny_dataset):
+        from repro.serve import InferenceService
+
+        tuner = S2PGNNFineTuner(
+            factory,
+            search_config=SearchConfig(epochs=2, batch_size=16, seed=0),
+            finetune_config=FineTuneConfig(epochs=2, patience=2),
+            seed=0,
+        )
+        tuner.fit(tiny_dataset)
+        graphs = tiny_dataset.graphs[:32]
+        spec = tuner.best_spec_
+
+        ref = InferenceService.from_tuner(tuner).predict(graphs, spec)
+
+        # A float32 serving deployment of the same fitted weights: fresh
+        # dtype-set registry (casting a *copy* is the registry's documented
+        # ownership contract — the tuner keeps training its float64 model).
+        import copy
+
+        f32 = InferenceService(tuner.encoder_factory, tuner.model_.num_tasks,
+                               policy="float32", batch_size=16,
+                               seed=tuner.seed)
+        f32.models.add(spec, copy.deepcopy(tuner.model_))
+        got = f32.predict(graphs, spec)
+
+        assert got.dtype == np.float32
+        assert ref.dtype == np.float64
+        assert np.abs(got - ref).max() <= 1e-4
+        pool_stats = f32.stats()["policy"]["workspace"]
+        assert pool_stats["misses"] > 0  # the forward really ran pooled
