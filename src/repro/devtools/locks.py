@@ -9,8 +9,9 @@ tier-1 test asserts every entry is named there.
 
 Ranks are ordered coarse-to-fine: a thread may only acquire locks of
 strictly increasing rank (same-rank re-acquisition is allowed for RLocks
-only).  ``level`` groups ranks into the five documented tiers of the
-serve stack's prose table.
+only).  ``level`` groups ranks into the six documented tiers of the
+serve stack's prose table (cluster front end above server internals,
+leaf registries at the bottom).
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ class LockSpec:
     rank:
         Total acquisition order — acquire strictly increasing ranks only.
     level:
-        Documented tier (1-5) in the :mod:`repro.serve.service` prose.
+        Documented tier (1-6) in the :mod:`repro.serve.service` prose.
     module:
         Defining file, relative to ``src/repro`` (e.g. ``serve/router.py``).
     owner:
@@ -66,34 +67,38 @@ class LockSpec:
 
 
 LOCK_HIERARCHY: tuple[LockSpec, ...] = (
-    LockSpec(10, 1, "serve/server.py", "InferenceServer", "_lock", "RLock",
-             "server lifecycle flags, worker bookkeeping, error list"),
-    LockSpec(20, 2, "serve/router.py", "BatchingRouter", "_lock", "RLock",
+    LockSpec(5, 1, "serve/cluster.py", "ClusterRouter", "_lock", "Lock",
+             "cluster front end: shard health flags + dispatch counters; "
+             "shard calls (which take the whole serve stack's locks in "
+             "in-process doubles) run with no cluster lock held"),
+    LockSpec(10, 2, "serve/server.py", "InferenceServer", "_lock", "RLock",
+             "server lifecycle flags, worker bookkeeping, error ring"),
+    LockSpec(20, 3, "serve/router.py", "BatchingRouter", "_lock", "RLock",
              "buckets, seq counter, drain window; flush executes unlocked"),
-    LockSpec(30, 3, "serve/service.py", "InferenceService", "_lock", "RLock",
+    LockSpec(30, 4, "serve/service.py", "InferenceService", "_lock", "RLock",
              "response LRU, counters, default-router slot, model-lock table"),
-    LockSpec(40, 4, "serve/service.py", "InferenceService", "_model_locks",
+    LockSpec(40, 5, "serve/service.py", "InferenceService", "_model_locks",
              "RLock",
              "per-model execution locks (weakref-keyed); serialize the "
              "train/eval mode flip around each forward",
              acquire_names=("_model_lock",)),
-    LockSpec(50, 5, "serve/registry.py", "ModelRegistry", "_lock", "RLock",
+    LockSpec(50, 6, "serve/registry.py", "ModelRegistry", "_lock", "RLock",
              "model map, pin set, counters; cache-miss build runs under it"),
-    LockSpec(51, 5, "serve/cache.py", "BatchCacheRegistry", "_lock", "RLock",
+    LockSpec(51, 6, "serve/cache.py", "BatchCacheRegistry", "_lock", "RLock",
              "loader entry map and hit/miss counters"),
-    LockSpec(52, 5, "graph/loader.py", "DataLoader", "_cache_lock", "Lock",
+    LockSpec(52, 6, "graph/loader.py", "DataLoader", "_cache_lock", "Lock",
              "double-checked one-time batch materialization"),
-    LockSpec(53, 5, "graph/graph.py", "Batch", "_plan_lock", "Lock",
+    LockSpec(53, 6, "graph/graph.py", "Batch", "_plan_lock", "Lock",
              "lazy per-batch segment-plan and degree-norm builds"),
-    LockSpec(54, 5, "graph/datasets.py", None, "_dataset_cache_lock", "Lock",
+    LockSpec(54, 6, "graph/datasets.py", None, "_dataset_cache_lock", "Lock",
              "process-wide synthetic dataset cache",
              guards=("_DATASET_CACHE",)),
-    LockSpec(55, 5, "nn/segment.py", None, "_scatter_plan_lock", "Lock",
+    LockSpec(55, 6, "nn/segment.py", None, "_scatter_plan_lock", "Lock",
              "module-level scatter-plan LRU",
              guards=("_scatter_plans",)),
-    LockSpec(56, 5, "serve/transport.py", "ServingProtocol", "_lock", "Lock",
+    LockSpec(56, 6, "serve/transport.py", "ServingProtocol", "_lock", "Lock",
              "submit/result ticket window"),
-    LockSpec(57, 5, "nn/policy.py", "WorkspacePool", "_lock", "Lock",
+    LockSpec(57, 6, "nn/policy.py", "WorkspacePool", "_lock", "Lock",
              "workspace arena registry (stats/reset aggregation only; "
              "leases run lock-free on per-thread arenas)"),
 )

@@ -1,6 +1,6 @@
 """``repro.serve`` — batch-serving layer on top of the fast-path stack.
 
-Six pieces: :class:`BatchCacheRegistry` (one collated + plan-cached
+Seven pieces: :class:`BatchCacheRegistry` (one collated + plan-cached
 loader per graph set and batch size, shared by every phase of a run),
 :class:`ModelRegistry` (persistent derived models keyed by spec, LRU),
 :class:`InferenceService` (prediction requests + many-spec scoring
@@ -8,14 +8,24 @@ fan-outs over the shared caches), :class:`BatchingRouter` (dynamic
 batching: single-graph requests bucketed by spec into server-side
 micro-batches, flushed on size or deadline), :class:`InferenceServer`
 (the concurrent front end: real-clock ticker thread + worker pool
-executing flushed micro-batches), and the transports
+executing flushed micro-batches), the transports
 (:class:`InProcessTransport` / :class:`HTTPServingTransport` — one JSON
 dict protocol exposing submit/predict/stats in-process or over stdlib
-HTTP).  The whole stack is thread-safe; :mod:`repro.serve.service`
-documents the lock order.
+HTTP), and the sharded cluster (:class:`ClusterRouter` dispatching by
+deterministic spec affinity over :class:`ShardProcess` shard servers,
+with health probes and connection-failure failover).  The whole stack is
+thread-safe; :mod:`repro.serve.service` documents the lock order.
 """
 
 from .cache import BatchCacheRegistry
+from .cluster import (
+    ClusterError,
+    ClusterRouter,
+    ShardProcess,
+    ShardServiceConfig,
+    launch_shards,
+    spec_affinity,
+)
 from .registry import ModelRegistry, spec_key
 from .router import BatchingRouter, RoutedRequest
 from .server import InferenceServer
@@ -25,6 +35,8 @@ from .transport import (
     HTTPServingTransport,
     InProcessTransport,
     ServingProtocol,
+    TransportConnectionError,
+    TransportError,
 )
 
 __all__ = [
@@ -40,4 +52,12 @@ __all__ = [
     "InProcessTransport",
     "HTTPServingTransport",
     "HTTPServingClient",
+    "TransportError",
+    "TransportConnectionError",
+    "ClusterError",
+    "ClusterRouter",
+    "ShardProcess",
+    "ShardServiceConfig",
+    "launch_shards",
+    "spec_affinity",
 ]

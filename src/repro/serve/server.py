@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from collections import deque
 
 import numpy as np
 
@@ -90,19 +91,29 @@ class InferenceServer:
         benchmarks) emulating a blocked-on-device interval.
     default_timeout_s:
         :meth:`predict`'s default wait bound.
+    max_worker_errors:
+        Capacity of the :attr:`worker_errors` ring.  Tickets already
+        carry their own error, so the server keeps only the last K for
+        diagnostics — under sustained micro-batch failure an unbounded
+        list would grow (with full tracebacks pinned) for the life of
+        the process.  :attr:`worker_error_total` counts every failure
+        monotonically and is what ``stats()`` reports.
     """
 
     def __init__(self, service, num_workers: int = 2, max_batch_size: int = 32,
                  max_delay: int = 4, max_pending: int = 1024,
                  max_undrained: int = 4096, onehot: bool = False,
                  tick_interval_s: float | None = 0.002, queue_size: int = 64,
-                 pre_execute=None, default_timeout_s: float = 60.0):
+                 pre_execute=None, default_timeout_s: float = 60.0,
+                 max_worker_errors: int = 64):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if tick_interval_s is not None and tick_interval_s <= 0:
             raise ValueError("tick_interval_s must be positive (or None)")
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if max_worker_errors < 1:
+            raise ValueError("max_worker_errors must be >= 1")
         self.service = service
         self.num_workers = num_workers
         self.tick_interval_s = tick_interval_s
@@ -120,7 +131,12 @@ class InferenceServer:
         self._ticker: threading.Thread | None = None
         self._workers: list[threading.Thread] = []
         self.executed_batches = 0
-        self.worker_errors: list[BaseException] = []
+        # Ring of the last K failures (diagnostics) + monotonic total:
+        # the waiting tickets own the errors that matter, the server
+        # must not accumulate every exception of a failing deployment.
+        self.worker_errors: "deque[BaseException]" = deque(
+            maxlen=max_worker_errors)
+        self.worker_error_total = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -274,6 +290,7 @@ class InferenceServer:
                 except BaseException as err:  # tickets already carry the error
                     with self._lock:
                         self.worker_errors.append(err)
+                        self.worker_error_total += 1
                 else:
                     with self._lock:
                         self.executed_batches += 1
@@ -291,7 +308,9 @@ class InferenceServer:
                 "running": self.running,
                 "queue_depth": self._queue.qsize(),
                 "executed_batches": self.executed_batches,
-                "worker_errors": len(self.worker_errors),
+                # the true monotonic failure count, not the ring's size
+                "worker_errors": self.worker_error_total,
+                "recent_worker_errors": len(self.worker_errors),
                 "tick_interval_s": self.tick_interval_s,
             }
         return stats

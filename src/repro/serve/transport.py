@@ -11,9 +11,13 @@ in-process transport is a faithful stand-in for the HTTP one in tests
   micro-batch executes; the deadline ticker bounds the wait);
 * ``submit``   — same request -> ``{"seq": n}`` immediately; poll
   ``result`` with ``{"seq": n[, "timeout_s": t]}`` ->
-  ``{"logits": ...}`` or ``{"pending": true}``.  A delivered result is a
+  ``{"logits": ...}``, ``{"pending": true}``, or — for a failed
+  micro-batch — ``{"error": msg, "seq": n}``.  A delivered result is a
   **one-shot claim** (like the router's ``drain``): the ticket leaves the
-  window once its logits have been handed over;
+  window atomically with delivery (the pop under the window lock decides
+  the single winner among concurrent pollers; every other poller gets
+  ``unknown or expired seq``), and an error delivery is claimed exactly
+  the same way — a failed ticket cannot wedge in the window;
 * ``stats``    — ``{}`` -> the server's full stats tree.
 
 Graphs go over the wire as ``{"x": [[...]], "edge_index": [[...]],
@@ -45,6 +49,8 @@ __all__ = [
     "InProcessTransport",
     "HTTPServingTransport",
     "HTTPServingClient",
+    "TransportError",
+    "TransportConnectionError",
     "graph_to_payload",
     "graph_from_payload",
     "spec_to_payload",
@@ -100,6 +106,10 @@ def _json_safe(value):
         return [_json_safe(v) for v in value]
     if isinstance(value, np.ndarray):
         return value.tolist()
+    if isinstance(value, np.bool_):
+        # Checked before np.integer: np.bool_ is not an np.integer
+        # subclass, and json.dumps rejects it outright.
+        return bool(value)
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):
@@ -109,6 +119,17 @@ def _json_safe(value):
 
 class TransportError(ValueError):
     """Malformed or unanswerable request (maps to HTTP 4xx)."""
+
+
+class TransportConnectionError(RuntimeError):
+    """The server did not answer at all (socket refused/dropped/timed out).
+
+    Distinct from a served error status — a request that *reached* the
+    server raises a plain ``RuntimeError`` with the HTTP code.  The
+    cluster router keys failover on exactly this distinction: connection
+    failure means the shard is gone (retry, then re-dispatch); a 4xx/5xx
+    means the shard is alive and the request itself failed.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -181,13 +202,29 @@ class ServingProtocol:
                 ticket.wait(float(timeout))
             except TimeoutError:
                 pass
+            except RuntimeError:
+                pass  # failed micro-batch: delivered as a claim below
         if not ticket.done:
             return {"seq": seq, "pending": True}
-        logits = ticket.result()  # re-raises a failed micro-batch
-        with self._lock:  # one-shot claim: delivered tickets leave the window
-            self._tickets.pop(seq, None)
+        # One-shot claim, atomically: the pop under the lock decides the
+        # single winner among concurrent pollers of the same seq — every
+        # later poller finds the window empty and gets unknown/expired.
+        # Delivery (including *error* delivery) happens only on the
+        # claimed ticket, so a failed micro-batch leaves the window on
+        # its first poll instead of wedging there re-raising forever.
+        with self._lock:
+            claimed = self._tickets.pop(seq, None)
+        if claimed is None:
+            raise TransportError(f"unknown or expired seq {seq}")
+        try:
+            logits = claimed.result()
+        except RuntimeError as err:
+            cause = err.__cause__
+            message = (f"{type(cause).__name__}: {cause}"
+                       if cause is not None else str(err))
+            return {"seq": seq, "error": message}
         return {"seq": seq, "logits": logits.tolist(),
-                "batch_size": len(ticket.batch_graphs)}
+                "batch_size": len(claimed.batch_graphs)}
 
     def handle_stats(self, payload: dict) -> dict:
         return _json_safe(self.server.stats())
@@ -382,7 +419,10 @@ class HTTPServingClient:
                 message = body.decode(errors="replace")
             raise RuntimeError(f"{op} failed ({err.code}): {message}") from err
         except urllib.error.URLError as err:
-            raise RuntimeError(
+            # Nothing answered (refused, reset, DNS, socket timeout):
+            # typed so callers — the cluster router above all — can tell
+            # "server gone" from "server served an error".
+            raise TransportConnectionError(
                 f"{op} failed: no response from {self.url} within "
                 f"{self.timeout_s}s ({err.reason})") from err
 

@@ -155,6 +155,28 @@ class TestExecution:
         assert len(server.worker_errors) == 1
         assert server.executed_batches == 0
 
+    def test_worker_error_ring_bounds_memory_not_the_count(self, tiny_dataset,
+                                                           service):
+        # Regression: worker_errors was an unbounded list — a failing
+        # deployment pinned every exception (traceback and all) for the
+        # life of the process.  The ring keeps the last K while stats()
+        # still reports the true monotonic total.
+        with InferenceServer(service, num_workers=1, max_batch_size=1,
+                             max_delay=10_000, onehot=True,
+                             tick_interval_s=None,
+                             max_worker_errors=4) as server:
+            tickets = [server.submit(g, SPEC_A)
+                       for g in tiny_dataset.graphs[:6]]
+            server.flush()
+            for t in tickets:
+                with pytest.raises(RuntimeError):
+                    t.wait(timeout=30)
+            stats = server.stats()
+        assert len(server.worker_errors) == 4          # ring capacity
+        assert server.worker_error_total == 6          # true count
+        assert stats["server"]["worker_errors"] == 6
+        assert stats["server"]["recent_worker_errors"] == 4
+
     def test_pre_execute_hook_runs_per_micro_batch(self, tiny_dataset, service):
         calls = []
         with InferenceServer(service, num_workers=1, max_batch_size=2,

@@ -142,6 +142,94 @@ class TestInProcessProtocol:
                 transport.result(seqs[0])  # already claimed
 
 
+class TestResultClaim:
+    """The one-shot claim must be atomic and must cover failed tickets."""
+
+    def test_concurrent_pollers_exactly_one_claim(self, tiny_dataset):
+        # Regression: handle_result used to check done-ness and then
+        # delete the ticket in a separate lock section, so two pollers
+        # racing on a resolved seq could both deliver (or crash on the
+        # second delete).  The pop under the window lock must pick
+        # exactly one winner.
+        service = InferenceService(factory, tiny_dataset.num_tasks,
+                                   batch_size=8, seed=0)
+        with InferenceServer(service, num_workers=1, max_batch_size=2,
+                             max_delay=10_000, tick_interval_s=None) as srv:
+            transport = InProcessTransport(srv)
+            seq = transport.submit(tiny_dataset.graphs[0], SPEC_A)
+            srv.flush()
+            transport.result(seq, timeout_s=30)  # poll once -> resolved...
+            # ...but claimed!  Re-submit to race on a fresh resolved seq.
+            seq = transport.submit(tiny_dataset.graphs[1], SPEC_A)
+            srv.flush()
+
+            outcomes = []
+            barrier = threading.Barrier(8)
+
+            def poll():
+                barrier.wait()
+                try:
+                    outcomes.append(("ok", transport.result(seq, timeout_s=30)))
+                except TransportError as err:
+                    outcomes.append(("expired", str(err)))
+
+            threads = [threading.Thread(target=poll) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        wins = [reply for tag, reply in outcomes if tag == "ok"]
+        assert len(wins) == 1, f"{len(wins)} pollers claimed seq {seq}"
+        assert "logits" in wins[0] and wins[0]["seq"] == seq
+        assert sum(tag == "expired" for tag, _ in outcomes) == 7
+
+    def test_failed_ticket_is_claimed_not_wedged(self, tiny_dataset):
+        # Regression: a failed micro-batch used to raise out of
+        # handle_result *before* the ticket left the window, so the seq
+        # wedged there re-raising forever (and, over HTTP, burning a 500
+        # per poll).  The error must be delivered as a one-shot claim.
+        service = InferenceService(factory, tiny_dataset.num_tasks,
+                                   batch_size=8, seed=0)
+        # onehot routing without a supernet: every micro-batch fails.
+        with InferenceServer(service, num_workers=1, max_batch_size=2,
+                             max_delay=10_000, tick_interval_s=None,
+                             onehot=True) as srv:
+            transport = InProcessTransport(srv)
+            seq = transport.submit(tiny_dataset.graphs[0], SPEC_A)
+            srv.flush()
+            reply = transport.result(seq, timeout_s=30)
+            assert reply["seq"] == seq
+            assert "error" in reply and "logits" not in reply
+            # the claim emptied the window — the seq is gone, not wedged
+            with pytest.raises(TransportError, match="unknown or expired"):
+                transport.result(seq)
+
+    def test_json_safe_numpy_bools(self):
+        # Regression: _json_safe missed np.bool_ (not an np.integer
+        # subclass), so a stats tree containing one blew up json.dumps.
+        from types import SimpleNamespace
+
+        from repro.serve.transport import _json_safe
+
+        tree = {
+            "running": np.bool_(True),
+            "flags": [np.bool_(False), np.True_],
+            "count": np.int64(3),
+            "ratio": np.float32(0.5),
+            "mask": np.array([True, False]),
+        }
+        safe = json.loads(json.dumps(_json_safe(tree)))
+        assert safe["running"] is True
+        assert safe["flags"] == [False, True]
+        assert safe["count"] == 3 and abs(safe["ratio"] - 0.5) < 1e-9
+        assert safe["mask"] == [True, False]
+        # and through the stats handler, end to end
+        from repro.serve.transport import ServingProtocol
+
+        protocol = ServingProtocol(SimpleNamespace(stats=lambda: tree))
+        json.dumps(protocol.handle("stats", {}))
+
+
 class TestHandlerErrorBoundary:
     """The HTTP handler's catch-all must never swallow interpreter exits."""
 
@@ -216,6 +304,49 @@ class TestHTTPTransport:
             with pytest.raises(urllib.error.HTTPError) as err:
                 urllib.request.urlopen(f"{http.url}/nope", timeout=10)
             assert err.value.code == 404
+
+    def test_predict_timeout_maps_to_504(self, tiny_dataset):
+        service = InferenceService(factory, tiny_dataset.num_tasks,
+                                   batch_size=8, seed=0)
+        # Deadline ~ max_delay * tick_interval = hours; nothing flushes a
+        # lone request before the client's tiny predict timeout expires.
+        with InferenceServer(service, num_workers=1, max_batch_size=100,
+                             max_delay=10_000, tick_interval_s=5.0) as srv:
+            with HTTPServingTransport(srv, port=0) as http:
+                client = HTTPServingClient(http.url)
+                with pytest.raises(RuntimeError, match=r"\(504\)"):
+                    client.predict(tiny_dataset.graphs[0], SPEC_A,
+                                   timeout_s=0.05)
+
+    def test_failed_batch_maps_to_500_and_result_claims_error(self, tiny_dataset):
+        service = InferenceService(factory, tiny_dataset.num_tasks,
+                                   batch_size=8, seed=0)
+        with InferenceServer(service, num_workers=1, max_batch_size=1,
+                             max_delay=1, tick_interval_s=0.001,
+                             onehot=True) as srv:  # no supernet: all batches fail
+            with HTTPServingTransport(srv, port=0) as http:
+                client = HTTPServingClient(http.url)
+                with pytest.raises(RuntimeError, match=r"\(500\)"):
+                    client.predict(tiny_dataset.graphs[0], SPEC_A, timeout_s=30)
+                # submit/result path: the error arrives as a one-shot
+                # claim dict, not a status blast, and then expires.
+                seq = client.submit(tiny_dataset.graphs[1], SPEC_A)
+                reply = client.result(seq, timeout_s=30)
+                assert reply["seq"] == seq and "error" in reply
+                with pytest.raises(RuntimeError, match=r"\(400\)"):
+                    client.result(seq)
+
+    def test_dead_server_raises_typed_connection_error(self, tiny_dataset, server):
+        from repro.serve import TransportConnectionError
+
+        with HTTPServingTransport(server, port=0) as http:
+            url = http.url
+            client = HTTPServingClient(url, timeout_s=2.0)
+            client.stats()  # alive
+        # transport stopped: connection refused must surface as the typed
+        # error the cluster router keys failover on, not a bare RuntimeError
+        with pytest.raises(TransportConnectionError):
+            client.stats()
 
     def test_concurrent_http_clients(self, tiny_dataset, server, reference):
         graphs = tiny_dataset.graphs
