@@ -32,7 +32,7 @@ from .runtime import LockOrderGuard
 
 # Import for the registration side effect: each module adds its rules to
 # RULES at import time.
-from . import rules  # noqa: F401  (registers REP001..REP006)
+from . import rules  # noqa: F401  (registers REP001..REP008)
 
 __all__ = [
     "Finding",

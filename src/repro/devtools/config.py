@@ -42,8 +42,16 @@ class LintConfig:
         ("devtools/registry.py", "RULES"),
     })
 
-    #: files whose ops must satisfy the autograd contract (REP004)
-    autograd_modules: tuple = ("nn/tensor.py", "nn/segment.py")
+    #: files whose ops must satisfy the autograd contract (REP004); the
+    #: op registry's differentiable implementations must resolve into
+    #: this set.
+    autograd_modules: tuple = ("nn/tensor.py", "nn/segment.py", "nn/ops.py")
+
+    #: the declarative op-registry module (REP004/REP005/REP008 parse its
+    #: register()/register_backend() calls statically via
+    #: :mod:`repro.devtools.opregs`).  Rules skip their registry checks
+    #: when the module is absent from the linted tree (fixtures).
+    ops_module: str = "nn/ops.py"
 
     #: hot-path files where hard-coded float64 (or dtype-less) allocations
     #: are banned (REP007): everything here must allocate in the active
@@ -52,6 +60,7 @@ class LintConfig:
     #: by omission.
     dtype_hot_modules: tuple = (
         "nn/segment.py",
+        "nn/ops.py",
         "graph/graph.py",
         "graph/loader.py",
         "serve/cache.py",
@@ -69,15 +78,16 @@ class LintConfig:
     #: functions in the fast module allowed to call np.add.at /
     #: np.maximum.at (the plan-miss fallback); the reference module may
     #: use them anywhere (they ARE the legacy ops).
-    parity_scatter_functions: tuple = ("scatter_add",)
-    #: test files (repo-relative) that must reference every public
-    #: segment op; the suite check is skipped when none exist (fixtures).
+    parity_scatter_functions: tuple = ("_scatter_add_plan",)
+    #: test files (repo-relative) that must reference every *registered*
+    #: op; the suite check is skipped when none exist (fixtures).
     parity_suite_files: tuple = (
         "tests/serve/test_backend_differential.py",
         "tests/gnn/test_segment_parity.py",
         "tests/nn/test_segment.py",
         "tests/nn/test_segment_fuzz.py",
         "tests/nn/test_thread_state.py",
+        "tests/nn/test_ops_gradients.py",
     )
 
     #: how attribute receivers map to lock-owning classes (REP001): an

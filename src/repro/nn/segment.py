@@ -55,12 +55,16 @@ for any tensor whose leading dimension equals ``plan.num_items``:
 
 The legacy ``np.add.at`` ops remain available as a reference backend for
 differential testing: ``with use_backend("legacy"): ...`` routes every op
-through :mod:`repro.nn.tensor`'s implementations.
+through :mod:`repro.nn.tensor`'s implementations.  Backend selection
+lives in :mod:`repro.nn.ops`: this module registers one plan-backed and
+one legacy implementation per op in the :data:`~repro.nn.ops.OP_REGISTRY`
+table, and the public names (``segment_sum`` et al., ``use_backend``,
+``active_backend``) are re-exported registry dispatchers — there is no
+inline backend branching here.
 """
 
 from __future__ import annotations
 
-import contextvars
 import threading
 import weakref
 from collections import OrderedDict
@@ -69,7 +73,7 @@ import numpy as np
 
 from . import tensor as _tensor
 from .policy import active_dtype, active_workspace, workspace_zeros
-from .tensor import Tensor, as_tensor, gather
+from .tensor import Tensor, as_tensor
 
 try:  # scipy ships in the image; the kernels degrade gracefully without it.
     from scipy import sparse as _sparse
@@ -106,47 +110,6 @@ __all__ = [
 #: Above this within-segment rank count the vertical max (one pass per
 #: rank) degenerates; long, few segments are ``reduceat``'s good regime.
 _VERTICAL_MAX_RANK_LIMIT = 64
-
-
-_BACKENDS = ("reduceat", "legacy")
-#: Context-local backend selection.  A ``ContextVar`` instead of a
-#: process-global stack makes ``use_backend`` compose across threads: a
-#: differential test pinning the legacy backend in one thread cannot
-#: reroute forwards running concurrently on serving workers.  Fresh
-#: threads start from the default ("reduceat") backend.
-_ACTIVE_BACKEND: contextvars.ContextVar[str] = contextvars.ContextVar(
-    "repro_segment_backend", default="reduceat")
-
-
-def active_backend() -> str:
-    """Name of the backend segment ops currently dispatch to (context-local)."""
-    return _ACTIVE_BACKEND.get()
-
-
-class use_backend:
-    """Context manager selecting the segment-op backend.
-
-    ``"reduceat"`` (default) is the plan-backed fast path; ``"legacy"``
-    routes through the ``np.add.at`` reference implementations in
-    :mod:`repro.nn.tensor` for differential testing.
-
-    The selection is context-local (``contextvars``), so it only affects
-    the entering thread; one instance may be re-entered / nested.
-    """
-
-    def __init__(self, name: str):
-        if name not in _BACKENDS:
-            raise ValueError(f"unknown backend {name!r}; known: {_BACKENDS}")
-        self.name = name
-        self._tokens: list[contextvars.Token] = []
-
-    def __enter__(self):
-        self._tokens.append(_ACTIVE_BACKEND.set(self.name))
-        return self
-
-    def __exit__(self, exc_type, exc, tb):
-        _ACTIVE_BACKEND.reset(self._tokens.pop())
-        return False
 
 
 class SegmentPlan:
@@ -363,7 +326,7 @@ def _reduce_max_data(x_data: np.ndarray, plan: SegmentPlan) -> np.ndarray:
     return out
 
 
-def segment_sum(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+def _segment_sum_plan(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     """Sum rows of ``x`` per segment; ``index`` is a plan or an id array.
 
     Forward is the plan's cached CSR matvec (sorted-row ``reduceat``
@@ -371,9 +334,6 @@ def segment_sum(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     as the legacy op.
     """
     x = as_tensor(x)
-    if _ACTIVE_BACKEND.get() == "legacy":
-        ids, n = _ids_of(index, num_segments)
-        return _tensor.segment_sum(x, ids, n)
     plan = as_plan(index, num_segments)
     out_data = _reduce_sum_data(x.data, plan)
 
@@ -384,7 +344,13 @@ def segment_sum(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     return Tensor._result(out_data, (x,), "segment_sum", backward)
 
 
-def segment_mean(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+def _segment_sum_legacy(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Legacy ``np.add.at`` segment sum (plan-or-ids calling convention)."""
+    ids, n = _ids_of(index, num_segments)
+    return _tensor._legacy_segment_sum(as_tensor(x), ids, n)
+
+
+def _segment_mean_plan(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     """Mean-pool rows per segment (empty segments yield zeros).
 
     The count reciprocals come precomputed from the plan, so repeated calls
@@ -392,9 +358,6 @@ def segment_mean(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     ``bincount`` + reciprocal tensor.
     """
     x = as_tensor(x)
-    if _ACTIVE_BACKEND.get() == "legacy":
-        ids, n = _ids_of(index, num_segments)
-        return _tensor.segment_mean(x, ids, n)
     plan = as_plan(index, num_segments)
     inv = plan.inv_counts_for(x.data.dtype).reshape(
         (plan.num_segments,) + (1,) * (x.ndim - 1))
@@ -413,16 +376,19 @@ def segment_mean(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     return Tensor._result(out_data, (x,), "segment_mean", backward)
 
 
-def segment_max(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+def _segment_mean_legacy(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Legacy segment mean (plan-or-ids calling convention)."""
+    ids, n = _ids_of(index, num_segments)
+    return _tensor._legacy_segment_mean(as_tensor(x), ids, n)
+
+
+def _segment_max_plan(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     """Max-pool rows per segment (empty segments yield zeros).
 
     Gradient splits evenly between ties inside each segment, exactly like
     the legacy op; the tie counts are themselves one ``reduceat`` sweep.
     """
     x = as_tensor(x)
-    if _ACTIVE_BACKEND.get() == "legacy":
-        ids, n = _ids_of(index, num_segments)
-        return _tensor.segment_max(x, ids, n)
     plan = as_plan(index, num_segments)
     out_data = _reduce_max_data(x.data, plan)
 
@@ -438,19 +404,22 @@ def segment_max(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     return Tensor._result(out_data, (x,), "segment_max", backward)
 
 
-def gather_segments(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+def _segment_max_legacy(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Legacy ``np.maximum.at`` segment max (plan-or-ids calling convention)."""
+    ids, n = _ids_of(index, num_segments)
+    return _tensor._legacy_segment_max(as_tensor(x), ids, n)
+
+
+def _gather_segments_plan(x: Tensor, index, num_segments: int | None = None) -> Tensor:
     """Row-gather ``x[segment_ids]`` with a plan-backed scatter adjoint.
 
-    Forward is identical to :func:`repro.nn.tensor.gather`; the adjoint —
-    a scatter-add of the output gradient back onto the segments — runs
+    Forward is identical to the plain row gather; the adjoint — a
+    scatter-add of the output gradient back onto the segments — runs
     through the plan's sum kernel instead of ``np.add.at``.  Use it when
     the gather index *is* a plan's segment-id array (broadcasting per-node
     state to edges, per-graph state to nodes).
     """
     x = as_tensor(x)
-    if _ACTIVE_BACKEND.get() == "legacy":
-        ids, _ = _ids_of(index, num_segments)
-        return gather(x, ids)
     plan = as_plan(index, num_segments)
     out_data = x.data[plan.segment_ids]
 
@@ -460,6 +429,12 @@ def gather_segments(x: Tensor, index, num_segments: int | None = None) -> Tensor
                 np.asarray(g, dtype=x.data.dtype), plan))
 
     return Tensor._result(out_data, (x,), "gather_segments", backward)
+
+
+def _gather_segments_legacy(x: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Legacy gather_segments: the plain row gather with np.add.at adjoint."""
+    ids, _ = _ids_of(index, num_segments)
+    return _tensor._gather(as_tensor(x), ids)
 
 
 # ----------------------------------------------------------------------
@@ -534,7 +509,7 @@ def _repeated_index_plan(ids: np.ndarray, num_segments: int) -> SegmentPlan | No
     return plan if plan is not False else None
 
 
-def scatter_add(g, index: np.ndarray, num_rows: int) -> np.ndarray:
+def _scatter_add_plan(g, index: np.ndarray, num_rows: int) -> np.ndarray:
     """Sum rows of ``g`` into ``num_rows`` buckets selected by ``index``.
 
     The adjoint of a row gather: ``out[index[i]] += g[i]``, duplicate
@@ -543,8 +518,7 @@ def scatter_add(g, index: np.ndarray, num_rows: int) -> np.ndarray:
     recognized by storage identity and served through a cached
     :class:`SegmentPlan` — bit-identical to ``np.add.at`` because the
     plan's stable sort preserves each bucket's appearance order.  First
-    sightings, negative indices and the legacy backend all take the plain
-    ``np.add.at`` scatter.
+    sightings and negative indices take the plain ``np.add.at`` scatter.
 
     The storage key inherits the plan layer's immutability contract:
     *don't mutate a repeated index array in place* (``idx[:] = ...``
@@ -561,7 +535,7 @@ def scatter_add(g, index: np.ndarray, num_rows: int) -> np.ndarray:
         g = g.astype(active_dtype())
     index = np.asarray(index, dtype=np.int64)
     plan = None
-    if _ACTIVE_BACKEND.get() != "legacy" and index.ndim == 1:
+    if index.ndim == 1:
         plan = _repeated_index_plan(index, num_rows)
     if plan is not None:
         return _reduce_sum_data(g, plan)
@@ -570,21 +544,46 @@ def scatter_add(g, index: np.ndarray, num_rows: int) -> np.ndarray:
     return out
 
 
-def segment_softmax(scores: Tensor, index, num_segments: int | None = None) -> Tensor:
+def _segment_softmax_plan(scores: Tensor, index, num_segments: int | None = None) -> Tensor:
     """Softmax of ``scores`` grouped by segment (per-destination attention).
 
     Canonical implementation for GAT, Set2Set and any attention fusion: the
     per-segment max is subtracted as a constant for numerical stability;
     gradients flow through the exponential and normalizer exactly.  When a
-    plain index array is given under the fast backend, one plan is built
-    here and shared by the max / sum / gather sub-ops.
+    plain index array is given, one plan is built here and shared by the
+    max / sum / gather sub-ops.
     """
     scores = as_tensor(scores)
-    if _ACTIVE_BACKEND.get() != "legacy":
-        index = as_plan(index, num_segments)
-        num_segments = None
-    seg_max = segment_max(scores, index, num_segments).detach()
-    shifted = scores - gather_segments(seg_max, index, num_segments)
+    plan = as_plan(index, num_segments)
+    seg_max = _segment_max_plan(scores, plan).detach()
+    shifted = scores - _gather_segments_plan(seg_max, plan)
     exp = shifted.exp()
-    denom = segment_sum(exp, index, num_segments)
-    return exp / (gather_segments(denom, index, num_segments) + 1e-16)
+    denom = _segment_sum_plan(exp, plan)
+    return exp / (_gather_segments_plan(denom, plan) + 1e-16)
+
+
+def _segment_softmax_legacy(scores: Tensor, index, num_segments: int | None = None) -> Tensor:
+    """Legacy segment softmax: the same composition over the legacy sub-ops."""
+    scores = as_tensor(scores)
+    seg_max = _segment_max_legacy(scores, index, num_segments).detach()
+    shifted = scores - _gather_segments_legacy(seg_max, index, num_segments)
+    exp = shifted.exp()
+    denom = _segment_sum_legacy(exp, index, num_segments)
+    return exp / (_gather_segments_legacy(denom, index, num_segments) + 1e-16)
+
+
+#: Public op surface served by the registry dispatchers in
+#: :mod:`repro.nn.ops` (PEP 562 lazy re-export — importing ``ops`` here
+#: eagerly would be circular: ops registers the implementations above).
+_OPS_FORWARDED = frozenset({
+    "segment_sum", "segment_mean", "segment_max", "segment_softmax",
+    "gather_segments", "scatter_add", "use_backend", "active_backend",
+})
+
+
+def __getattr__(name):
+    if name in _OPS_FORWARDED:
+        from . import ops as _ops
+
+        return getattr(_ops, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -514,19 +514,21 @@ def _scatter_adjoint(target_data: np.ndarray, index, g: np.ndarray) -> np.ndarra
     """Scatter-add ``g`` back onto a zeroed copy of ``target_data``'s shape.
 
     The adjoint of ``x[index]`` / :func:`gather`.  For 1-D integer index
-    arrays this dispatches to :func:`repro.nn.segment.scatter_add`, which
-    recognizes *repeated* index arrays (embedding-id columns of cached
-    batches, reused top-k selections) and serves them through a cached
-    :class:`~repro.nn.segment.SegmentPlan` — bit-identical to ``np.add.at``
-    but an order of magnitude faster on the hot paths.  Everything else
-    (slices, boolean masks, multi-dimensional fancy indexing) keeps the
-    plain ``np.add.at`` scatter.  Repetition is detected by *storage*
-    identity, so an index array reused across calls must not be mutated
-    in place between them (see :func:`repro.nn.segment.scatter_add`).
+    arrays this dispatches through the registered ``scatter_add`` op
+    (:mod:`repro.nn.ops`), whose plan backend recognizes *repeated* index
+    arrays (embedding-id columns of cached batches, reused top-k
+    selections) and serves them through a cached
+    :class:`~repro.nn.segment.SegmentPlan` — bit-identical to
+    ``np.add.at`` but an order of magnitude faster on the hot paths.
+    Everything else (slices, boolean masks, multi-dimensional fancy
+    indexing) keeps the plain ``np.add.at`` scatter.  Repetition is
+    detected by *storage* identity, so an index array reused across calls
+    must not be mutated in place between them (see
+    :func:`repro.nn.segment._scatter_add_plan`).
     """
     if (isinstance(index, np.ndarray) and index.ndim == 1
             and index.dtype.kind in "iu"):
-        from .segment import scatter_add
+        from .ops import scatter_add
 
         return scatter_add(g, index, target_data.shape[0])
     full = np.zeros_like(target_data)
@@ -583,11 +585,12 @@ def where(condition: np.ndarray, a, b) -> Tensor:
     return Tensor._result(out_data, (a, b), "where", backward)
 
 
-def gather(x: Tensor, index: np.ndarray) -> Tensor:
+def _gather(x: Tensor, index: np.ndarray) -> Tensor:
     """Row-gather ``x[index]``; the adjoint is a scatter-add.
 
     This is the core primitive of message passing: source node features are
-    gathered along ``edge_index[0]`` before aggregation.
+    gathered along ``edge_index[0]`` before aggregation.  Public name:
+    ``repro.nn.gather`` — the registered entry in :mod:`repro.nn.ops`.
     """
     index = np.asarray(index, dtype=np.int64)
     out_data = x.data[index]
@@ -599,15 +602,16 @@ def gather(x: Tensor, index: np.ndarray) -> Tensor:
     return Tensor._result(out_data, (x,), "gather", backward)
 
 
-def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def _legacy_segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Sum rows of ``x`` into ``num_segments`` buckets; adjoint is a gather.
 
     Used both for neighborhood aggregation (segments = target nodes) and
     graph readout (segments = graph ids in a batch).
 
-    This ``np.add.at`` implementation is the *legacy reference backend*;
-    the hot-path ops live in :mod:`repro.nn.segment` (plan-backed
-    ``reduceat``) and dispatch here under ``use_backend("legacy")`` for
+    This ``np.add.at`` implementation is the *legacy reference backend*,
+    registered in :mod:`repro.nn.ops`; the hot-path ops live in
+    :mod:`repro.nn.segment` (plan-backed ``reduceat``) and the public
+    ``segment_sum`` dispatches here under ``use_backend("legacy")`` for
     differential testing.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
@@ -622,16 +626,16 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
     return Tensor._result(out_data, (x,), "segment_sum", backward)
 
 
-def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def _legacy_segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Mean-pool rows of ``x`` per segment (empty segments yield zeros)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     counts = np.bincount(segment_ids, minlength=num_segments).astype(x.data.dtype)
     counts = np.maximum(counts, 1.0)
-    total = segment_sum(x, segment_ids, num_segments)
+    total = _legacy_segment_sum(x, segment_ids, num_segments)
     return total * Tensor(1.0 / counts).reshape((num_segments,) + (1,) * (x.ndim - 1))
 
 
-def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def _legacy_segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Max-pool rows of ``x`` per segment (empty segments yield zeros)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     out_data = np.full((num_segments,) + x.data.shape[1:], -np.inf,
@@ -651,3 +655,37 @@ def segment_max(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
         x._accumulate(np.where(winners, g[segment_ids] / tie_counts[segment_ids], 0.0))
 
     return Tensor._result(out_data, (x,), "segment_max", backward)
+
+
+def _legacy_scatter_add(g, index: np.ndarray, num_rows: int) -> np.ndarray:
+    """Plain ``np.add.at`` scatter: ``out[index[i]] += g[i]`` over zeros.
+
+    The legacy reference entry for the registered ``scatter_add`` op —
+    duplicate indices accumulate in appearance order, which the plan
+    backend's stable sort reproduces bit-identically.
+    """
+    g = np.asarray(g)
+    if g.dtype.kind != "f":
+        g = g.astype(active_dtype())
+    index = np.asarray(index, dtype=np.int64)
+    out = workspace_zeros((num_rows,) + g.shape[index.ndim:], g.dtype)
+    np.add.at(out, index, g)
+    return out
+
+
+#: Registered public ops whose canonical entry points are the registry
+#: dispatchers in :mod:`repro.nn.ops` (PEP 562 lazy re-export: importing
+#: ``ops`` eagerly here would be circular — ops registers the legacy
+#: implementations above).  ``from repro.nn.tensor import segment_sum``
+#: therefore returns the *same* function object as ``repro.nn.segment_sum``.
+_OPS_FORWARDED = frozenset({
+    "segment_sum", "segment_mean", "segment_max", "gather",
+})
+
+
+def __getattr__(name):
+    if name in _OPS_FORWARDED:
+        from . import ops as _ops
+
+        return getattr(_ops, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,105 @@
+"""REP004/REP005/REP008 fixture: a broken op-registry module.
+
+Linted with ``ops_module="bad_opreg.py"`` and ``autograd_modules``
+covering this file plus ``bad_autograd.py``.  The registration table
+below plants one of each violation class; the module only needs to
+*parse* — the rules read it statically and never import it.
+"""
+
+from . import bad_autograd as _impls
+from . import elsewhere as _elsewhere  # module outside autograd_modules
+
+REGISTRY = None  # stand-in receiver; the lints model the calls, not the object
+
+
+def fast_sum(values, segment_ids, num_segments):
+    return values
+
+
+def make_samples(dtype):
+    return []
+
+
+def use_backend(name):
+    return name
+
+
+REGISTRY.register_backend("ref", description="reference backend")
+REGISTRY.register_backend("fast", fallback="ref")
+REGISTRY.register_backend("warp", fallback="quantum")
+# REP008: 'warp' falls back to the undeclared backend 'quantum'.
+
+# Clean registration: adjoint + samples + two declared backends, both
+# implementations named functions inside the autograd-checked modules.
+REGISTRY.register(
+    "segment_sum",
+    backends={"ref": _impls.good_add, "fast": fast_sum},
+    adjoint="scatter the upstream gradient back through the ids",
+    samples=make_samples,
+)
+
+# REP008 x3: no adjoint, no samples, single backend without a waiver.
+# REP004: 'phantom_op' is not defined in bad_autograd.py.
+# REP005: no reference-backend implementation.
+REGISTRY.register(
+    "segment_max",
+    backends={"fast": _impls.phantom_op},
+)
+
+# REP008: 'quantum' was never declared via register_backend.
+# REP004: a lambda implementation dodges the autograd checks.
+# REP005: no reference-backend implementation.
+REGISTRY.register(
+    "gather_segments",
+    backends={"quantum": lambda x, ids: x[ids]},
+    adjoint="scatter-add rows back to their sources",
+    samples=make_samples,
+    waiver="speculative backend only",
+)
+
+# REP004: the 'ref' implementation lives in elsewhere.py, outside the
+# autograd-checked modules.
+REGISTRY.register(
+    "scatter_add",
+    backends={"ref": _elsewhere.touch_unguarded, "fast": fast_sum},
+    adjoint="gather the upstream gradient at the scatter indices",
+    samples=make_samples,
+)
+
+# REP008: duplicate registration of 'segment_sum'.
+REGISTRY.register(
+    "segment_sum",
+    backends={"ref": _impls.good_add, "fast": fast_sum},
+    adjoint="duplicate registration of the op above",
+    samples=make_samples,
+)
+
+# REP008: non-literal op name — invisible to every registry lint.
+for _name in ("exp", "log"):
+    REGISTRY.register(
+        _name,
+        backends={"ref": _impls.good_add},
+        adjoint="elementwise derivative",
+        samples=make_samples,
+        waiver="elementwise reference op",
+    )
+
+# Clean: non-differentiable forward-only op; the lambda is fine because
+# REP004 only audits differentiable implementations, and the waiver
+# sanctions the single backend.
+REGISTRY.register(
+    "histogram",
+    backends={"ref": lambda x: x},
+    adjoint="none: integer-valued diagnostic",
+    samples=make_samples,
+    differentiable=False,
+    waiver="forward-only diagnostic",
+)
+
+
+def run_everything(x):
+    with use_backend("fast"):  # clean: declared backend
+        pass
+    with use_backend("cuda"):  # REP008: undeclared backend literal
+        pass
+    return x

@@ -1,40 +1,36 @@
-"""REP005 fixture: segment ops breaking the two-backend contract.
+"""REP005 fixture: a fast segment module breaking the registry contract.
 
-Linted with ``parity_fast_module="bad_parity.py"`` and a reference
-module (``parity_reference.py``) that is absent from the fixture
-project, so the ``_tensor.*`` dispatch check fires too.
+Linted with ``parity_fast_module="bad_parity.py"`` and
+``ops_module="bad_opreg.py"``: every export must be a registered op,
+dispatch must go through the registry (no inline backend compares), and
+``ufunc.at`` scatters stay out of hot paths except the declared
+fallback functions.
 """
 
 import numpy as np
 
 __all__ = ["segment_sum", "segment_max", "segment_mean", "scatter_add"]
-# REP005: segment_mean is exported but never defined.
+# REP005: segment_mean is exported but not registered in bad_opreg.py.
 
 
 def segment_sum(values, segment_ids, num_segments):
-    if _backend() == "legacy":
-        # REP005: dispatch target missing from the reference module
-        return _tensor.legacy_segment_sum(values, segment_ids, num_segments)
-    out = np.zeros((num_segments,) + values.shape[1:])
-    np.add.at(out, segment_ids, values)  # REP005: scatter in a hot path
-    return out
+    if active_backend() == "fast":  # REP005: inline backend branch
+        out = np.zeros((num_segments,) + values.shape[1:])
+        np.add.at(out, segment_ids, values)  # REP005: scatter in a hot path
+        return out
+    return values
 
 
 def segment_max(values, segment_ids, num_segments):
-    # REP005: no legacy-backend dispatch at all
     out = np.full((num_segments,), -np.inf)
     np.maximum.at(out, segment_ids, values)  # REP005: scatter in a hot path
     return out
 
 
 def scatter_add(out, index, values):
-    # REP005 (no legacy dispatch) — but the scatter below is allowed:
     np.add.at(out, index, values)  # allowed: the documented fallback site
     return out
 
 
-def _backend():
+def active_backend():
     return "fast"
-
-
-_tensor = None  # stand-in so the module at least imports

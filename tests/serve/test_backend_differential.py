@@ -4,10 +4,13 @@ PR 2 promised that the legacy ``np.add.at`` ops stay available as a
 *reference backend* for the plan-backed kernels.  The unit parity tests
 (`tests/nn/test_segment.py`, `tests/gnn/test_segment_parity.py`) cover
 individual ops and modules; this suite pins the promise down end to end:
-a complete search + fine-tune + serve run under ``use_backend("legacy")``
-must be **bit-identical** to the same run under the default plan backend —
-identical search histories, derived specs, training losses, validation
-trajectories, scores and served logits.
+a complete search + fine-tune + serve run under every backend the op
+registry implements (``OP_REGISTRY.backends()`` — the table in
+``repro.nn.ops`` is the source of truth, so a future ``compiled``
+backend joins this suite by registering itself) must be
+**bit-identical** to the legacy reference — identical search histories,
+derived specs, training losses, validation trajectories, scores and
+served logits.
 
 Bit-identity (not just tolerance) holds because every fast kernel
 accumulates in the same order as its legacy counterpart: the plans' stable
@@ -27,8 +30,14 @@ from repro.core.api import FineTuneConfig
 from repro.core.evolution import EvolutionConfig, EvolutionarySearcher
 from repro.gnn import GNNEncoder
 from repro.nn import use_backend
+from repro.nn.ops import OP_REGISTRY
 
 pytestmark = pytest.mark.slow
+
+#: Every backend with at least one direct implementation in the registry.
+BACKENDS = OP_REGISTRY.backends()
+REFERENCE = "legacy"
+FAST_BACKENDS = tuple(b for b in BACKENDS if b != REFERENCE)
 
 
 def factory():
@@ -60,38 +69,40 @@ def run_pipeline(dataset, backend: str) -> dict:
 
 @pytest.fixture(scope="module")
 def runs(tiny_dataset):
-    return (run_pipeline(tiny_dataset, "reduceat"),
-            run_pipeline(tiny_dataset, "legacy"))
+    return {backend: run_pipeline(tiny_dataset, backend)
+            for backend in BACKENDS}
 
 
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 class TestEndToEndBackendParity:
-    def test_derived_specs_identical(self, runs):
-        fast, legacy = runs
+    def test_derived_specs_identical(self, runs, backend):
+        fast, legacy = runs[backend], runs[REFERENCE]
         assert fast["spec"] == legacy["spec"]
 
-    def test_search_histories_bit_identical(self, runs):
-        fast, legacy = runs
+    def test_search_histories_bit_identical(self, runs, backend):
+        fast, legacy = runs[backend], runs[REFERENCE]
         assert len(fast["search_history"]) == len(legacy["search_history"])
         for a, b in zip(fast["search_history"], legacy["search_history"]):
             assert a == b  # epoch, tau, threshold, losses, derived — exact
 
-    def test_finetune_trajectories_bit_identical(self, runs):
-        fast, legacy = runs
+    def test_finetune_trajectories_bit_identical(self, runs, backend):
+        fast, legacy = runs[backend], runs[REFERENCE]
         assert fast["train_losses"] == legacy["train_losses"]
         assert fast["valid_history"] == legacy["valid_history"]
         assert fast["best_epoch"] == legacy["best_epoch"]
         assert fast["valid_score"] == legacy["valid_score"]
         assert fast["test_score"] == legacy["test_score"]
 
-    def test_served_logits_bit_identical(self, runs):
-        fast, legacy = runs
+    def test_served_logits_bit_identical(self, runs, backend):
+        fast, legacy = runs[backend], runs[REFERENCE]
         assert np.array_equal(fast["logits"], legacy["logits"])
 
 
 class TestEvolutionBackendParity:
-    def test_evolution_bit_identical(self, tiny_dataset):
-        def run(backend):
-            with use_backend(backend):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_evolution_bit_identical(self, tiny_dataset, backend):
+        def run(name):
+            with use_backend(name):
                 searcher = EvolutionarySearcher(
                     factory(), tiny_dataset,
                     config=EvolutionConfig(warmup_epochs=1, population_size=4,
@@ -99,14 +110,15 @@ class TestEvolutionBackendParity:
                 )
                 return searcher.search()
 
-        fast, legacy = run("reduceat"), run("legacy")
+        fast, legacy = run(backend), run(REFERENCE)
         assert fast.spec == legacy.spec
         assert fast.score == legacy.score
         assert fast.history == legacy.history
 
 
 class TestServiceBackendParity:
-    def test_spec_scoring_bit_identical(self, tiny_dataset):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_spec_scoring_bit_identical(self, tiny_dataset, backend):
         from repro.core import DEFAULT_SPACE
         from repro.core.supernet import S2PGNNSupernet
         from repro.serve import InferenceService
@@ -115,8 +127,8 @@ class TestServiceBackendParity:
         specs = [DEFAULT_SPACE.random_spec(2, rng) for _ in range(3)]
         graphs = tiny_dataset.graphs[:16]
 
-        def run(backend):
-            with use_backend(backend):
+        def run(name):
+            with use_backend(name):
                 supernet = S2PGNNSupernet(factory(), DEFAULT_SPACE,
                                           num_tasks=tiny_dataset.num_tasks,
                                           seed=0)
@@ -126,7 +138,7 @@ class TestServiceBackendParity:
                                            metric=tiny_dataset.info.metric,
                                            keep_logits=True)
 
-        fast, legacy = run("reduceat"), run("legacy")
+        fast, legacy = run(backend), run(REFERENCE)
         for a, b in zip(fast, legacy):
             assert a.spec == b.spec
             assert a.score == b.score
