@@ -25,6 +25,12 @@ batch, E ~= 50k directed edges), comparing:
    call) instead of inline backend branches; the contract is <2% added
    cost over calling the resolved kernel directly, measured on a small
    per-call workload where dispatch is least amortized.
+5. **compiled C kernels** (PR 10) — the JIT-built ctypes backend
+   (``repro.nn.compiled``) against reduceat and legacy per op, the fused
+   LSTM-step scan against the tape-composition reference, and the
+   one-time JIT build cost with its disk-cache reload and the number of
+   scan calls that amortize it.  Contract: >=1.5x over reduceat on the
+   fused scan and on at least one segment reduction.
 
 Per-op feature widths mirror the model hot paths: message aggregation
 (sum/mean/max) runs at the encoder width, attention softmax at GAT's
@@ -74,6 +80,25 @@ def _time(fn, repeats):
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _paired_times(fn_a, fn_b, rounds):
+    """Per-round wall times of two functions run adjacent in time.
+
+    Each round times one call of each, alternating which goes first to
+    cancel ordering bias; sustained load drift hits both members of a
+    round equally, so per-round ratios stay meaningful on shared
+    machines where two separate best-of loops would not (same rationale
+    as :func:`bench_dispatch_overhead`'s paired measurement).
+    """
+    times_a, times_b = [], []
+    for r in range(rounds):
+        for fn, times in ([(fn_a, times_a), (fn_b, times_b)] if r % 2 == 0
+                          else [(fn_b, times_b), (fn_a, times_a)]):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+    return np.asarray(times_a), np.asarray(times_b)
 
 
 def _get_op(op_name):
@@ -269,6 +294,121 @@ def bench_plan_build(num_graphs=1800, repeats=3, seed=0):
     }
 
 
+def bench_compiled(num_graphs=1800, emb_dim=32, num_heads=2, repeats=5,
+                   seed=0, lstm_steps=16, lstm_batch=128, lstm_hidden=32):
+    """Compiled C kernels vs reduceat/legacy + JIT build amortization.
+
+    The build numbers time the two one-off costs real processes pay:
+    ``first_build_s`` (cc -O3 into an empty cache — first process on a
+    machine) and ``cached_reload_s`` (dlopen of the cached object —
+    every later process).  ``scan_calls_to_amortize_build`` divides the
+    build cost by the per-call saving of the fused LSTM scan.
+    """
+    import shutil
+    import tempfile
+
+    from repro.nn import SegmentPlan, Tensor, no_grad, use_backend
+    from repro.nn.compiled import build
+    from repro.nn.ops import OP_REGISTRY
+
+    if build.find_compiler() is None:
+        return {"available": False}
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-compiled-")
+    prior = os.environ.get("REPRO_COMPILED_CACHE")
+    try:
+        os.environ["REPRO_COMPILED_CACHE"] = tmp
+        build.reset()
+        first_build_s = _time(build.load, 1)
+        build.reset()
+        cached_reload_s = _time(build.load, 1)
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_COMPILED_CACHE", None)
+        else:
+            os.environ["REPRO_COMPILED_CACHE"] = prior
+        build.reset()
+        shutil.rmtree(tmp, ignore_errors=True)
+    build.load()  # steady state (default cache) for the kernel timings
+
+    ids, n, num_edges = _edge_workload(num_graphs, seed)
+    plan = SegmentPlan(ids, n)
+    plan.csr(), plan.rank_slices()
+    rng = np.random.default_rng(seed)
+
+    def kernel_sweep(op, data, index, num_segments, backend):
+        def run():
+            with no_grad(), use_backend(backend):
+                op(Tensor(data), index, num_segments)
+        return run
+
+    per_op = {}
+    for op_name, width_kind in OP_DIMS.items():
+        op = _get_op(op_name)
+        width = emb_dim if width_kind == "emb" else num_heads
+        data = rng.normal(size=(num_edges, width))
+        row = {
+            "feature_dim": width,
+            "compiled_kernel_s": _time(
+                kernel_sweep(op, data, plan, None, "compiled"), repeats),
+            "reduceat_kernel_s": _time(
+                kernel_sweep(op, data, plan, None, "reduceat"), repeats),
+            "legacy_kernel_s": _time(
+                kernel_sweep(op, data, ids, n, "legacy"), repeats),
+        }
+        row["kernel_speedup_compiled_vs_reduceat"] = (
+            row["reduceat_kernel_s"] / row["compiled_kernel_s"])
+        row["kernel_speedup_compiled_vs_legacy"] = (
+            row["legacy_kernel_s"] / row["compiled_kernel_s"])
+        per_op[op_name] = row
+
+    # Fused LSTM-step scan (nn/rnn.py routes here under no_grad): the
+    # hybrid GEMM + C elementwise kernel vs the tape-composition
+    # reference, on a Set2Set/fusion-sized workload.
+    dispatch = OP_REGISTRY.dispatcher("lstm_scan")
+    x = rng.normal(size=(lstm_steps, lstm_batch, emb_dim))
+    w_x = 0.4 * rng.normal(size=(emb_dim, 4 * lstm_hidden))
+    w_h = 0.4 * rng.normal(size=(lstm_hidden, 4 * lstm_hidden))
+    bias = rng.normal(size=4 * lstm_hidden)
+
+    def scan_sweep(backend):
+        def run():
+            with no_grad(), use_backend(backend):
+                dispatch(Tensor(x), w_x, w_h, bias)
+        return run
+
+    compiled_t, reference_t = _paired_times(
+        scan_sweep("compiled"), scan_sweep("legacy"), max(2 * repeats, 6))
+    lstm_row = {
+        "steps": lstm_steps,
+        "batch": lstm_batch,
+        "input_dim": emb_dim,
+        "hidden_dim": lstm_hidden,
+        "compiled_scan_s": float(compiled_t.min()),
+        "reference_scan_s": float(reference_t.min()),
+        # contracted figure: median of per-round ratios (spike-robust)
+        "scan_speedup_compiled_vs_reference": float(
+            np.median(reference_t / compiled_t)),
+    }
+    saving = lstm_row["reference_scan_s"] - lstm_row["compiled_scan_s"]
+    amortize = first_build_s / saving if saving > 0 else float("inf")
+
+    return {
+        "available": True,
+        "build": {
+            "first_build_s": first_build_s,
+            "cached_reload_s": cached_reload_s,
+            "scan_calls_to_amortize_build": amortize,
+        },
+        "num_edges": num_edges,
+        "ops": per_op,
+        "lstm_scan": lstm_row,
+        "best_segment_speedup_compiled_vs_reduceat": max(
+            row["kernel_speedup_compiled_vs_reduceat"]
+            for row in per_op.values()),
+    }
+
+
 def run_benchmark(num_graphs=1800, emb_dim=32, num_heads=2, repeats=5, seed=0):
     config = {
         "num_graphs": num_graphs,
@@ -285,6 +425,8 @@ def run_benchmark(num_graphs=1800, emb_dim=32, num_heads=2, repeats=5, seed=0):
                                                  seed),
         "plan_build": bench_plan_build(num_graphs, max(repeats // 2, 1), seed),
         "dispatch_overhead": bench_dispatch_overhead(seed=seed),
+        "compiled": bench_compiled(num_graphs, emb_dim, num_heads, repeats,
+                                   seed),
     }
 
 
@@ -313,6 +455,30 @@ def test_segment_kernel_speedup_contract():
     if os.environ.get("REPRO_BENCH_WRITE") == "1":
         with open(RESULT_PATH, "w") as f:
             json.dump(results, f, indent=2)
+
+
+def test_compiled_backend_speedup_contract():
+    """Smoke-tier contract for the compiled backend (auto-skips when no
+    C compiler is discovered): >=1.5x over reduceat on the fused LSTM
+    scan and on at least one segment reduction."""
+    import pytest
+
+    from repro.nn.compiled import build
+
+    if os.environ.get("REPRO_BENCH_SKIP") == "1":
+        pytest.skip("REPRO_BENCH_SKIP=1")
+    if build.find_compiler() is None:
+        pytest.skip("no C compiler discovered")
+    results = bench_compiled(num_graphs=400, emb_dim=16, repeats=3)
+    print(json.dumps(results, indent=2))
+    assert results["available"] is True
+    lstm = results["lstm_scan"]
+    assert lstm["scan_speedup_compiled_vs_reference"] >= 1.5, lstm
+    assert results["best_segment_speedup_compiled_vs_reduceat"] >= 1.5, \
+        results["ops"]
+    build_info = results["build"]
+    assert build_info["cached_reload_s"] < build_info["first_build_s"], \
+        build_info
 
 
 if __name__ == "__main__":

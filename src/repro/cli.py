@@ -99,14 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         choices=sorted(_TABLES) + ["space", "score", "serve", "route",
-                                   "serve-forever", "serve-cluster", "lint"],
+                                   "serve-forever", "serve-cluster", "lint",
+                                   "backend-info"],
         help="paper table to regenerate, 'space' (Remark 3 numbers), "
              "'score' (many-spec serving fan-out), 'serve' "
              "(score + repeated-request throughput), 'route' "
              "(dynamic-batching single-request router demo), "
              "'serve-forever' (concurrent HTTP serving runtime), "
-             "'serve-cluster' (multi-process sharded serving cluster) or "
-             "'lint' (static invariant analysis over src/repro)",
+             "'serve-cluster' (multi-process sharded serving cluster), "
+             "'lint' (static invariant analysis over src/repro) or "
+             "'backend-info' (kernel backends, fallback chains and the "
+             "compiled-backend build status)",
     )
     parser.add_argument(
         "--tier", choices=["smoke", "bench"], default="bench",
@@ -212,6 +215,37 @@ def _run_lint(args) -> int:
         return 0
     root = args.path or os.path.dirname(os.path.abspath(__file__))
     return run_lint(root, rule_ids=args.rules, baseline_path=args.baseline)
+
+
+def _run_backend_info(args) -> int:
+    """``backend-info``: declared kernel backends with fallback chains,
+    the per-op direct-implementation table, and the compiled-backend
+    JIT build status (compiler, cache, fallback reporting)."""
+    from .nn.compiled import compiled_status
+    from .nn.ops import OP_REGISTRY
+
+    print("declared backends (fallback chains):")
+    for name in OP_REGISTRY.declared_backends():
+        chain = [name]
+        while True:
+            fallback = OP_REGISTRY.backend_info(chain[-1])["fallback"]
+            if fallback is None:
+                break
+            chain.append(fallback)
+        description = OP_REGISTRY.backend_info(name)["description"]
+        suffix = f"  -- {description}" if description else ""
+        print(f"  {' -> '.join(chain)}{suffix}")
+
+    print("\nper-op direct implementations:")
+    for op_name in OP_REGISTRY.ops():
+        entry = OP_REGISTRY.get(op_name)
+        print(f"  {op_name:<18} {', '.join(sorted(entry.impls))}")
+
+    status = compiled_status()
+    print("\ncompiled backend status:")
+    for key in sorted(status):
+        print(f"  {key}: {status[key]}")
+    return 0
 
 
 def _serving_context(args):
@@ -510,6 +544,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target == "lint":
         return _run_lint(args)
+
+    if args.target == "backend-info":
+        return _run_backend_info(args)
 
     scale = configs.SMOKE_SCALE if args.tier == "smoke" else configs.BENCH_SCALE
     run, render = _TABLES[args.target]

@@ -45,13 +45,22 @@ class LintConfig:
     #: files whose ops must satisfy the autograd contract (REP004); the
     #: op registry's differentiable implementations must resolve into
     #: this set.
-    autograd_modules: tuple = ("nn/tensor.py", "nn/segment.py", "nn/ops.py")
+    autograd_modules: tuple = ("nn/tensor.py", "nn/segment.py", "nn/ops.py",
+                               "nn/rnn.py", "nn/compiled/kernels.py")
 
     #: the declarative op-registry module (REP004/REP005/REP008 parse its
     #: register()/register_backend() calls statically via
     #: :mod:`repro.devtools.opregs`).  Rules skip their registry checks
     #: when the module is absent from the linted tree (fixtures).
     ops_module: str = "nn/ops.py"
+
+    #: the compiled-backend registration module: REP008 additionally
+    #: requires every ``register_backend(..., impls=...)`` fill in here to
+    #: declare its fallback and to reference implementations living under
+    #: ``compiled_impl_prefix``.  Skipped when the module is absent from
+    #: the linted tree (fixtures override it to a planted file).
+    compiled_registration_module: str = "nn/compiled/__init__.py"
+    compiled_impl_prefix: str = "nn/compiled/"
 
     #: hot-path files where hard-coded float64 (or dtype-less) allocations
     #: are banned (REP007): everything here must allocate in the active
@@ -61,6 +70,8 @@ class LintConfig:
     dtype_hot_modules: tuple = (
         "nn/segment.py",
         "nn/ops.py",
+        "nn/compiled/kernels.py",
+        "nn/compiled/build.py",
         "graph/graph.py",
         "graph/loader.py",
         "serve/cache.py",

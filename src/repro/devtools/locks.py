@@ -101,6 +101,10 @@ LOCK_HIERARCHY: tuple[LockSpec, ...] = (
     LockSpec(57, 6, "nn/policy.py", "WorkspacePool", "_lock", "Lock",
              "workspace arena registry (stats/reset aggregation only; "
              "leases run lock-free on per-thread arenas)"),
+    LockSpec(58, 6, "nn/compiled/build.py", None, "_build_lock", "Lock",
+             "one-time JIT build/load of the compiled kernel library "
+             "(compiler discovery result, loaded handle, build counters)",
+             guards=("_STATE",)),
 )
 
 

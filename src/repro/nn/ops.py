@@ -51,6 +51,7 @@ import contextvars
 
 import numpy as np
 
+from . import rnn as _rnn
 from . import segment as _segment
 from . import tensor as _tensor
 from .tensor import as_tensor
@@ -69,6 +70,9 @@ __all__ = [
     "gather_segments",
     "scatter_add",
     "gather",
+    "matmul",
+    "concat",
+    "lstm_scan",
 ]
 
 
@@ -141,14 +145,46 @@ class OpRegistry:
 
     # -- declaration ---------------------------------------------------
     def register_backend(self, name: str, fallback: str | None = None,
-                         description: str = "") -> None:
-        """Declare a backend name and the backend it falls back to."""
-        if name in self._backends:
-            raise ValueError(f"backend {name!r} already registered")
-        if fallback is not None and fallback not in self._backends:
-            raise ValueError(
-                f"backend {name!r} falls back to undeclared {fallback!r}")
-        self._backends[name] = _BackendSpec(name, fallback, description)
+                         description: str = "",
+                         impls: dict | None = None) -> None:
+        """Declare a backend, or fill a declared one with implementations.
+
+        With ``impls`` (op name -> implementation), a previously declared
+        backend may be filled *late* — the compiled backend registers its
+        JIT kernels this way once the ops table exists.  Filling
+        invalidates the cached dispatch tables: a dispatcher called
+        before this point has already resolved ``(op, backend)`` through
+        the fallback chain and would otherwise keep serving the stale
+        implementation forever.
+        """
+        spec = self._backends.get(name)
+        if spec is None:
+            if fallback is not None and fallback not in self._backends:
+                raise ValueError(
+                    f"backend {name!r} falls back to undeclared {fallback!r}")
+            spec = _BackendSpec(name, fallback, description)
+            self._backends[name] = spec
+        else:
+            if impls is None:
+                raise ValueError(f"backend {name!r} already registered")
+            if fallback is not None and fallback != spec.fallback:
+                raise ValueError(
+                    f"backend {name!r} declared with fallback "
+                    f"{spec.fallback!r}; cannot refill with {fallback!r}")
+            if description:
+                spec.description = description
+        for op_name, impl in (impls or {}).items():
+            entry = self._ops.get(op_name)
+            if entry is None:
+                raise ValueError(
+                    f"backend {name!r} provides an impl for unregistered "
+                    f"op {op_name!r}")
+            if name in entry.impls:
+                raise ValueError(
+                    f"op {op_name!r} already has a {name!r} implementation")
+            entry.impls[name] = impl
+        for table in self._tables.values():
+            table.clear()
 
     def register(self, name: str, backends: dict, adjoint: str,
                  samples, tolerance: float = 0.0,
@@ -200,6 +236,15 @@ class OpRegistry:
     def declared_backends(self) -> tuple:
         """Every declared backend name, in declaration order."""
         return tuple(self._backends)
+
+    def backend_info(self, name: str) -> dict:
+        """Declared metadata of backend ``name``: fallback + description."""
+        spec = self._backends.get(name)
+        if spec is None:
+            raise ValueError(
+                f"unknown backend {name!r}; known: "
+                f"{self.declared_backends()}")
+        return {"fallback": spec.fallback, "description": spec.description}
 
     def backends(self) -> tuple:
         """Backends with at least one direct implementation (declaration
@@ -269,8 +314,9 @@ OP_REGISTRY.register_backend(
     description="SegmentPlan kernels: CSR matvec / reduceat / vertical max")
 OP_REGISTRY.register_backend(
     "compiled", fallback="reduceat",
-    description="reserved slot for the compiled C kernel backend "
-                "(ROADMAP); falls back to reduceat until implemented")
+    description="JIT-built ctypes C kernels (repro.nn.compiled); filled "
+                "at import when a C compiler is discovered, else every "
+                "op falls back to reduceat")
 
 
 #: Context-local backend selection.  A ``ContextVar`` instead of a
@@ -392,6 +438,49 @@ def _scatter_add_samples(dtype):
     return out
 
 
+def _matmul_samples(dtype):
+    """Differentiated left operands with fixed right operands (via args):
+    matrix@matrix, matrix@vector and vector@matrix layouts."""
+    rng = np.random.default_rng(53)
+    mat = rng.normal(size=(4, 3)).astype(dtype)
+    return [
+        SampleInput("mat_mat", mat, (rng.normal(size=(3, 2)).astype(dtype),)),
+        SampleInput("mat_vec", mat, (rng.normal(size=3).astype(dtype),)),
+        SampleInput("vec_mat", rng.normal(size=4).astype(dtype),
+                    (rng.normal(size=(4, 2)).astype(dtype),)),
+    ]
+
+
+def _concat_samples(dtype):
+    """Differentiated left halves with fixed right halves (via args),
+    joined along the trailing and the leading axis, plus 1-D payloads."""
+    rng = np.random.default_rng(59)
+    return [
+        SampleInput("last_axis", rng.normal(size=(3, 4)).astype(dtype),
+                    (rng.normal(size=(3, 2)).astype(dtype), -1)),
+        SampleInput("leading_axis", rng.normal(size=(2, 3)).astype(dtype),
+                    (rng.normal(size=(4, 3)).astype(dtype), 0)),
+        SampleInput("vector", rng.normal(size=5).astype(dtype),
+                    (rng.normal(size=3).astype(dtype), 0)),
+    ]
+
+
+def _lstm_scan_samples(dtype):
+    """Short scans differentiated w.r.t. the stacked ``(T, B, I)`` step
+    inputs; the packed ``[i, f, g, o]`` gate weights ride along as fixed
+    args, scaled to keep the gates in their smooth region."""
+    rng = np.random.default_rng(61)
+    w_x = (0.4 * rng.normal(size=(3, 8))).astype(dtype)
+    w_h = (0.4 * rng.normal(size=(2, 8))).astype(dtype)
+    bias = rng.normal(size=8).astype(dtype)
+    return [
+        SampleInput("scan", rng.normal(size=(3, 4, 3)).astype(dtype),
+                    (w_x, w_h, bias)),
+        SampleInput("single_step", rng.normal(size=(1, 4, 3)).astype(dtype),
+                    (w_x, w_h, bias)),
+    ]
+
+
 def _elementwise_samples(low, high, seed):
     """A ``samples(dtype)`` generator over ``uniform(low, high)`` values
     — the bounds keep each op inside its smooth, finite-difference-safe
@@ -451,6 +540,21 @@ def _ew_relu(x):
 def _ew_abs(x):
     """abs(x); adjoint g * sign(x)."""
     return as_tensor(x).abs()
+
+
+# ----------------------------------------------------------------------
+# Structural reference ops (matmul / concat)
+# ----------------------------------------------------------------------
+def _matmul_ref(x, other):
+    """x @ other; adjoints g @ other^T and x^T @ g (outer products in
+    the 1-D cases)."""
+    return as_tensor(x) @ as_tensor(other)
+
+
+def _concat_ref(x, other, axis=-1):
+    """concatenate([x, other], axis); the adjoint splits g back at the
+    operand boundary."""
+    return _tensor.concatenate([as_tensor(x), as_tensor(other)], axis=axis)
 
 
 # ----------------------------------------------------------------------
@@ -590,6 +694,41 @@ OP_REGISTRY.register(
     waiver="elementwise reference op; single canonical implementation",
 )
 
+OP_REGISTRY.register(
+    "matmul",
+    backends={"legacy": _matmul_ref},
+    adjoint="dL/dx = g @ other^T, dL/dother = x^T @ g (outer products "
+            "in the 1-D cases)",
+    samples=_matmul_samples,
+    tolerance=0.0,
+    waiver="backend-independent BLAS matmul (Tensor.__matmul__); single "
+           "canonical implementation",
+)
+
+OP_REGISTRY.register(
+    "concat",
+    backends={"legacy": _concat_ref},
+    adjoint="dL/dx, dL/dother = exact axis-slices of g, split at the "
+            "operand boundary",
+    samples=_concat_samples,
+    tolerance=0.0,
+    waiver="backend-independent np.concatenate forward; single canonical "
+           "implementation",
+)
+
+OP_REGISTRY.register(
+    "lstm_scan",
+    backends={"legacy": _rnn._lstm_scan_reference},
+    adjoint="reverse scan through the gates: the tape reference composes "
+            "per-step sigmoid/tanh/matmul adjoints",
+    samples=_lstm_scan_samples,
+    tolerance=0.0,
+    gradcheck_tol=1e-4,
+    float32_tol=5e-4,
+    waiver="tape-composition reference; the compiled backend fills its "
+           "fused scan kernel at import when a C compiler is available",
+)
+
 
 # ----------------------------------------------------------------------
 # Public entry points: one cached registry dispatcher per op.
@@ -601,3 +740,17 @@ segment_softmax = OP_REGISTRY.dispatcher("segment_softmax")
 gather_segments = OP_REGISTRY.dispatcher("gather_segments")
 scatter_add = OP_REGISTRY.dispatcher("scatter_add")
 gather = OP_REGISTRY.dispatcher("gather")
+matmul = OP_REGISTRY.dispatcher("matmul")
+concat = OP_REGISTRY.dispatcher("concat")
+lstm_scan = OP_REGISTRY.dispatcher("lstm_scan")
+
+
+# ----------------------------------------------------------------------
+# Compiled backend: fill the declared slot when a C compiler exists.
+# The import is deliberately last — the kernels register against the
+# completed table above, and a late fill invalidates the dispatch caches
+# (see register_backend).
+# ----------------------------------------------------------------------
+from . import compiled as _compiled  # noqa: E402
+
+_compiled.register_compiled_backend(OP_REGISTRY)

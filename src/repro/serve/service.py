@@ -69,8 +69,8 @@ this prose and the table in sync; edit the table first.
    (rank 51), ``DataLoader._cache_lock`` (rank 52), ``Batch._plan_lock``
    (rank 53), ``graph.datasets._dataset_cache_lock`` (rank 54),
    ``nn.segment._scatter_plan_lock`` (rank 55),
-   ``ServingProtocol._lock`` (rank 56) and ``WorkspacePool._lock``
-   (rank 57).
+   ``ServingProtocol._lock`` (rank 56), ``WorkspacePool._lock``
+   (rank 57) and ``nn.compiled.build._build_lock`` (rank 58).
 
 Eval-mode forwards mutate nothing (no autograd state under ``no_grad``,
 no BatchNorm buffer updates in eval), and grad/backend/policy flags are
@@ -104,6 +104,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..metrics import multitask_score_or_fallback
+from ..nn.compiled import compiled_status
 from ..nn.policy import ExecutionPolicy, active_dtype, active_workspace, serving_policy
 from .cache import BatchCacheRegistry
 from .registry import ModelRegistry
@@ -482,7 +483,8 @@ class InferenceService:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Combined registry + batch-cache + response-cache counters
-        (plus the default router's, once one exists)."""
+        (plus the default router's, once one exists) and the compiled
+        kernel backend's availability/build state."""
         with self._lock:
             logits = {
                 "entries": len(self._logit_cache),
@@ -495,6 +497,7 @@ class InferenceService:
             "models": self.models.stats(),
             "batches": self.batch_cache.stats(),
             "logits": logits,
+            "compiled": compiled_status(),
         }
         if self.policy is not None:
             policy = {"dtype": self.policy.dtype}

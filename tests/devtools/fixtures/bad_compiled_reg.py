@@ -1,0 +1,24 @@
+"""REP008 fixture: a compiled-backend fill breaking the fill contract.
+
+Linted with ``compiled_registration_module="bad_compiled_reg.py"`` and
+``compiled_impl_prefix="nn/compiled/"``: the ``register_backend(...,
+impls=...)`` call below omits its fallback declaration, and both
+implementation references resolve outside the compiled package (one to
+a sibling fixture module, one to this file itself).
+"""
+
+from . import bad_parity as _elsewhere
+
+
+def _local_impl(values, plan):
+    # REP008: lives in this module, not under nn/compiled/.
+    return values
+
+
+def fill_backend(registry):
+    registry.register_backend(  # REP008: no fallback declaration
+        "compiled",
+        impls={
+            "segment_sum": _elsewhere.segment_sum,  # REP008: out of prefix
+            "segment_mean": _local_impl,            # REP008: out of prefix
+        })

@@ -264,6 +264,34 @@ class TestREP008OpRegistry:
         assert run("REP008", config=config) == []
 
 
+class TestREP008CompiledFill:
+    CONFIG = dict(compiled_registration_module="bad_compiled_reg.py",
+                  compiled_impl_prefix="nn/compiled/")
+
+    def test_fixture_violations_caught(self):
+        config = fixture_config(**self.CONFIG)
+        found = messages(run("REP008", config=config), "bad_compiled_reg.py")
+        assert len(found) == 3
+        assert any("register_backend('compiled', impls=...) without a "
+                   "fallback declaration" in m for m in found)
+        assert any("'compiled' impl for op 'segment_sum' resolves to "
+                   "bad_parity.py" in m for m in found)
+        assert any("'compiled' impl for op 'segment_mean' resolves to "
+                   "bad_compiled_reg.py" in m for m in found)
+
+    def test_absent_compiled_module_skips_the_fill_checks(self):
+        # The default config points at nn/compiled/__init__.py, which the
+        # fixture project does not contain — the fill contract is skipped
+        # and the planted fixture produces no findings.
+        found = messages(run("REP008"), "bad_compiled_reg.py")
+        assert found == []
+
+    def test_ops_module_checks_still_run_alongside(self):
+        config = fixture_config(**self.CONFIG)
+        found = messages(run("REP008", config=config), "bad_opreg.py")
+        assert len(found) == 8
+
+
 class TestSuppressionMachinery:
     def test_baseline_suppresses_by_location(self, tmp_path):
         findings = run("REP002")

@@ -10,15 +10,17 @@ is the registry's consumer contract:
   literal names double as the REP005 suite-coverage witnesses:
   segment_sum, segment_mean, segment_max, segment_softmax,
   gather_segments, scatter_add, gather, exp, log, sqrt, tanh, sigmoid,
-  relu, abs.
+  relu, abs, matmul, concat, lstm_scan.
 * **numeric-vs-analytic gradcheck** over every differentiable op ×
   implemented backend × sample input (float64, the policy default);
 * **float32 policy leg** — the same samples under ``use_dtype`` must
   track the float64 run within each op's declared ``float32_tol``;
 * **cross-backend parity on the samples** within each op's declared
   ``tolerance`` (0.0 = bit-identical), forward and gradient;
-* **fallback chain** — the declared-but-empty ``compiled`` backend must
-  resolve to the ``reduceat`` implementations;
+* **fallback chain** — the ``compiled`` backend must resolve to its own
+  implementation where it registered one and to the ``reduceat``
+  implementation everywhere else (on a machine with no C compiler the
+  slot stays empty and resolves entirely through the fallback);
 * a small **hypothesis leg** replaying adversarial segment layouts
   through the registry dispatchers on every backend.
 """
@@ -29,6 +31,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import Tensor, use_backend, use_dtype
+from repro.nn.compiled import build as _compiled_build
 from repro.nn.ops import OP_REGISTRY
 from tests.conftest import gradcheck
 
@@ -39,6 +42,7 @@ EXPECTED_OPS = {
     "segment_sum", "segment_mean", "segment_max", "segment_softmax",
     "gather_segments", "scatter_add", "gather",
     "exp", "log", "sqrt", "tanh", "sigmoid", "relu", "abs",
+    "matmul", "concat", "lstm_scan",
 }
 
 BACKENDS = OP_REGISTRY.backends()
@@ -51,7 +55,12 @@ class TestRegistryCompleteness:
         assert set(OP_REGISTRY.ops()) == EXPECTED_OPS
 
     def test_backend_sets(self):
-        assert BACKENDS == ("legacy", "reduceat")
+        # The compiled backend registers its impls at import only when a
+        # system C compiler is discoverable; either way it stays declared.
+        if _compiled_build.find_compiler() is not None:
+            assert BACKENDS == ("legacy", "reduceat", "compiled")
+        else:
+            assert BACKENDS == ("legacy", "reduceat")
         assert OP_REGISTRY.declared_backends() == (
             "legacy", "reduceat", "compiled")
 
@@ -173,10 +182,15 @@ class TestBackendParityOnSamples:
 
 
 class TestFallbackChain:
-    def test_compiled_resolves_to_reduceat(self):
+    def test_compiled_resolves_direct_impl_or_reduceat(self):
         for op_name in OP_REGISTRY.ops():
-            assert OP_REGISTRY.resolve(op_name, "compiled") \
-                is OP_REGISTRY.resolve(op_name, "reduceat"), op_name
+            entry = OP_REGISTRY.get(op_name)
+            resolved = OP_REGISTRY.resolve(op_name, "compiled")
+            if "compiled" in entry.impls:
+                assert resolved is entry.impls["compiled"], op_name
+            else:
+                assert resolved \
+                    is OP_REGISTRY.resolve(op_name, "reduceat"), op_name
 
     def test_compiled_backend_runs_the_fallback(self):
         entry = OP_REGISTRY.get("segment_sum")

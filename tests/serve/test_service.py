@@ -196,8 +196,10 @@ class TestServiceBehavior:
     def test_stats_shape(self, served):
         _, _, service = served
         stats = service.stats()
-        assert set(stats) == {"models", "batches", "logits"}
+        assert set(stats) == {"models", "batches", "logits", "compiled"}
         assert stats["batches"]["collations"] >= 1
+        assert stats["compiled"]["state"] in (
+            "available", "unavailable", "disabled")
 
     def test_from_tuner_serves_fitted_model(self, tiny_dataset):
         from repro.core import S2PGNNFineTuner, SearchConfig
